@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+The experiment context (corpus, triple stores, trained retriever, trained
+baselines) is built once per session and shared by every table benchmark.
+Scale via REPRO_BENCH_SCALE=small|full (default small).
+"""
+
+import pytest
+
+from repro.eval.harness import shared_context
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return shared_context()
+
+
+@pytest.fixture(scope="session")
+def trained_system(ctx):
+    """The fully trained Triple-Fact Retrieval system (expensive, cached)."""
+    return ctx.system

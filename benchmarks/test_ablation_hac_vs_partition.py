@@ -1,0 +1,54 @@
+"""Ablation B — HAC O(m^3) vs partition-based Algorithm 1 O(m^2).
+
+The paper's complexity claim, measured: wall-clock of both constructions
+over growing union sets. Shape: HAC's empirical log-log growth exponent
+exceeds the partition method's, and HAC is slower in absolute terms at
+the largest size.
+"""
+
+from repro.eval.experiments import loglog_slope, run_ablation_hac
+from repro.eval.tables import format_table
+from repro.triples.construct import ConstructionConfig, TripleSetConstructor
+from repro.eval.experiments import _synthetic_triples
+
+
+def test_ablation_hac_vs_partition(benchmark):
+    timings = benchmark.pedantic(
+        lambda: run_ablation_hac(sizes=(16, 32, 64, 128)),
+        rounds=1,
+        iterations=1,
+    )
+    hac_points = timings["hac"]
+    partition_points = timings["partition"]
+    rows = [
+        [m, f"{hac_time * 1000:.1f}ms", f"{part_time * 1000:.1f}ms"]
+        for (m, hac_time), (_, part_time) in zip(hac_points, partition_points)
+    ]
+    hac_slope = loglog_slope(hac_points[1:])
+    partition_slope = loglog_slope(partition_points[1:])
+    print()
+    print(
+        format_table(
+            ["m", "HAC", "partition (Alg.1)"],
+            rows,
+            title="Ablation — construction wall-clock vs union size",
+        )
+    )
+    print(
+        f"empirical exponents: HAC {hac_slope:.2f} vs "
+        f"partition {partition_slope:.2f}"
+    )
+    # HAC grows strictly faster and is slower at the largest size
+    assert hac_slope > partition_slope
+    assert hac_points[-1][1] > partition_points[-1][1]
+    # HAC superquadratic-ish, partition subcubic
+    assert hac_slope > 2.0
+    assert partition_slope < 2.7
+
+
+def test_partition_construction_throughput(benchmark):
+    """pytest-benchmark timing of Algorithm 1 on a fixed 64-triple set."""
+    triples = _synthetic_triples(64)
+    constructor = TripleSetConstructor(ConstructionConfig(threshold_size=8))
+    result = benchmark(lambda: constructor.construct(triples))
+    assert len(result.triples) <= 8

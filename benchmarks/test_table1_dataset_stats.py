@@ -1,0 +1,45 @@
+"""Table I — dataset statistics (bridge / comparison × train / test).
+
+Paper (HotpotQA): train 72991 bridge / 17456 comparison, test 5918 / 1487
+— bridge-heavy (~80%), test ≈ 8% of total. The synthetic dataset must
+reproduce that mix.
+"""
+
+from repro.data.hotpot import build_hotpot_dataset
+from repro.eval.experiments import run_table1
+from repro.eval.tables import format_table
+
+
+def test_table1_dataset_statistics(ctx, benchmark):
+    stats = benchmark.pedantic(
+        lambda: run_table1(ctx), rounds=1, iterations=1
+    )
+    rows = [
+        [split, s["bridge"], s["comparison"], s["total"]]
+        for split, s in stats.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["split", "bridge", "comparison", "total"],
+            rows,
+            title="Table I — dataset statistics",
+        )
+    )
+    for split in ("train", "test"):
+        split_stats = stats[split]
+        assert split_stats["total"] > 0
+        # bridge-heavy mix, as in HotpotQA
+        assert split_stats["bridge"] > split_stats["comparison"]
+    # test fraction near the configured 20%
+    total = stats["train"]["total"] + stats["test"]["total"]
+    assert 0.1 <= stats["test"]["total"] / total <= 0.3
+
+
+def test_generation_throughput(ctx, benchmark):
+    """Benchmark raw dataset generation speed."""
+    world, corpus = ctx.world, ctx.corpus
+    result = benchmark(
+        lambda: build_hotpot_dataset(world, corpus, comparison_per_kind=5)
+    )
+    assert result.all_questions

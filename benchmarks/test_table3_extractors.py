@@ -1,0 +1,78 @@
+"""Table III — retrieval over different triple-fact extraction fields.
+
+Paper shape: the constructed TFS (Algorithm 1 over the union) beats both
+raw extractor fields, and MinIE-TFS beats StanfordIE-TFS on bridge
+questions (MinIE handles long sentences better and minimizes constituents).
+"""
+
+import pytest
+
+from repro.eval.experiments import run_table3
+from repro.eval.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def table3(ctx):
+    return run_table3(ctx)
+
+
+FIELDS = [
+    ("triples", "TFS"),
+    ("minie_triples", "MinIE-TFS"),
+    ("stanford_triples", "StanfordIE-TFS"),
+]
+
+
+def test_table3_extractor_comparison(ctx, table3, benchmark):
+    question = ctx.eval_questions[0].text
+    benchmark(
+        lambda: ctx.lexical.retrieve(question, k=10, field="minie_triples")
+    )
+    rows = []
+    for split in ("train", "test"):
+        for field, label in FIELDS:
+            cards = table3[split][field]
+            rows.append(
+                [
+                    f"{split}/{label}",
+                    cards["hop1_pr"].rate("bridge"),
+                    cards["hop1_pr"].rate("comparison"),
+                    cards["hop2_pem"].rate("bridge"),
+                    cards["hop2_pem"].rate("comparison"),
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["split/field", "hop1 bri", "hop1 com", "hop2 bri", "hop2 com"],
+            rows,
+            title="Table III — extraction fields (PR@10 hop1, PEM@10 hop2)",
+        )
+    )
+    for split in ("train", "test"):
+        # hop 1: constructed TFS within noise of the raw extractions
+        tfs_hop1 = table3[split]["triples"]["hop1_pr"]
+        minie_hop1 = table3[split]["minie_triples"]["hop1_pr"]
+        stanford_hop1 = table3[split]["stanford_triples"]["hop1_pr"]
+        assert tfs_hop1.total >= minie_hop1.total - 0.03
+        assert tfs_hop1.total >= stanford_hop1.total - 0.03
+        # hop 2 (where extraction quality matters): constructed TFS beats
+        # both raw fields, and MinIE >= StanfordIE on bridge questions
+        tfs_hop2 = table3[split]["triples"]["hop2_pem"]
+        minie_hop2 = table3[split]["minie_triples"]["hop2_pem"]
+        stanford_hop2 = table3[split]["stanford_triples"]["hop2_pem"]
+        assert tfs_hop2.rate("bridge") >= minie_hop2.rate("bridge") - 0.03
+        assert tfs_hop2.rate("bridge") >= stanford_hop2.rate("bridge") - 0.03
+        assert minie_hop2.rate("bridge") >= stanford_hop2.rate("bridge") - 0.03
+
+
+def test_table3_triple_set_sizes(ctx):
+    """Algorithm 1 must actually shrink the representation it searches."""
+    constructed = ctx.store.total_triples()
+    minie = ctx.extractor_store("minie").total_triples()
+    stanford = ctx.extractor_store("stanford").total_triples()
+    print(
+        f"\ntriple counts: constructed={constructed} "
+        f"minie={minie} stanford={stanford} union~={minie + stanford}"
+    )
+    assert constructed < minie + stanford

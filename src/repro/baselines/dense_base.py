@@ -1,0 +1,161 @@
+"""Shared dense bi-encoder machinery for the learned baselines.
+
+TPRR, MDR and HopRetriever all encode *full document text* into a single
+vector (the design the paper contrasts with triple-level matching). This
+module provides the common pieces: a document-embedding matrix, MIPS-style
+scoring, and listwise fine-tuning on the same mined (1 positive + 9
+negative) examples the triple retriever trains on — so the comparison
+isolates the representation, not the training recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.encoder.minibert import EncoderConfig, MiniBertEncoder
+from repro.nn.losses import cosine_similarity
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.retriever.negatives import TrainingExample
+
+
+@dataclass
+class DenseConfig:
+    """Dense-baseline training knobs."""
+
+    epochs: int = 2
+    lr: float = 3e-4
+    logit_scale: float = 4.0
+    max_doc_tokens: int = 46  # document text truncation before encoding
+    clip_norm: float = 5.0
+    seed: int = 31
+    freeze_embeddings: bool = True
+
+
+class DenseRetriever:
+    """A full-text dense bi-encoder over a corpus.
+
+    Subclasses override :meth:`document_text` to change what gets encoded
+    (e.g. HopRetriever appends entity mentions).
+    """
+
+    def __init__(
+        self,
+        encoder: MiniBertEncoder,
+        corpus: Corpus,
+        config: Optional[DenseConfig] = None,
+    ):
+        self.encoder = encoder
+        self.corpus = corpus
+        self.config = config or DenseConfig()
+        self._doc_matrix: Optional[np.ndarray] = None
+        self._rng = np.random.RandomState(self.config.seed)
+
+    # -- representation ----------------------------------------------------
+    def document_text(self, doc_id: int) -> str:
+        """The text encoded for one document (truncate to max length)."""
+        text = self.corpus[doc_id].text
+        tokens = text.split()
+        return " ".join(tokens[: self.config.max_doc_tokens])
+
+    def refresh_embeddings(self, batch_size: int = 128) -> None:
+        """(Re-)encode every document into the MIPS matrix."""
+        texts = [self.document_text(d.doc_id) for d in self.corpus]
+        matrix = self.encoder.encode_numpy(texts, batch_size=batch_size)
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._doc_matrix = matrix / norms
+
+    def _ensure_fresh(self) -> None:
+        if self._doc_matrix is None:
+            self.refresh_embeddings()
+
+    # -- retrieval ----------------------------------------------------------
+    def encode_query(self, query: str) -> np.ndarray:
+        """Normalized query embedding."""
+        vec = self.encoder.encode_numpy([query])[0]
+        norm = np.linalg.norm(vec) or 1.0
+        return vec / norm
+
+    def retrieve(
+        self, query: str, k: int = 10, exclude: Optional[Sequence[int]] = None
+    ) -> List[Tuple[int, float]]:
+        """Top-k (doc_id, cosine) via maximum inner-product search."""
+        self._ensure_fresh()
+        scores = self._doc_matrix @ self.encode_query(query)
+        return self._top_k(scores, k, exclude)
+
+    def retrieve_by_vector(
+        self,
+        query_vec: np.ndarray,
+        k: int = 10,
+        exclude: Optional[Sequence[int]] = None,
+    ) -> List[Tuple[int, float]]:
+        """MIPS with a precomputed (normalized) query vector."""
+        self._ensure_fresh()
+        scores = self._doc_matrix @ query_vec
+        return self._top_k(scores, k, exclude)
+
+    def _top_k(self, scores, k, exclude):
+        excluded = set(exclude or ())
+        order = np.argsort(-scores, kind="stable")
+        out: List[Tuple[int, float]] = []
+        for index in order:
+            doc_id = int(index)
+            if doc_id in excluded:
+                continue
+            out.append((doc_id, float(scores[index])))
+            if len(out) == k:
+                break
+        return out
+
+    def retrieve_titles(self, query: str, k: int = 10) -> List[str]:
+        return [self.corpus[d].title for d, _ in self.retrieve(query, k=k)]
+
+    # -- training -----------------------------------------------------------
+    def train(
+        self, examples: Sequence[TrainingExample], verbose: bool = False
+    ) -> List[float]:
+        """Listwise fine-tuning on mined 1-pos + 9-neg examples."""
+        cfg = self.config
+        model = self.encoder.model
+        model.train()
+        parameters = model.parameters()
+        if cfg.freeze_embeddings:
+            frozen = {
+                id(model.token_embedding.weight),
+                id(model.position_embedding.weight),
+            }
+            parameters = [p for p in parameters if id(p) not in frozen]
+        optimizer = Adam(parameters, lr=cfg.lr)
+        losses: List[float] = []
+        examples = list(examples)
+        for epoch in range(cfg.epochs):
+            order = self._rng.permutation(len(examples))
+            epoch_losses = []
+            for i in order:
+                example = examples[i]
+                doc_ids = [example.positive_doc_id] + list(example.negative_doc_ids)
+                texts = [example.question] + [
+                    self.document_text(d) for d in doc_ids
+                ]
+                embeddings = self.encoder.encode(texts)
+                scores = cosine_similarity(embeddings[0], embeddings[1:])
+                logits = scores * cfg.logit_scale
+                loss = -logits.softmax(axis=-1).log()[0]
+                model.zero_grad()
+                loss.backward()
+                optimizer.clip_grad_norm(cfg.clip_norm)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
+            losses.append(mean_loss)
+            if verbose:  # pragma: no cover
+                print(f"[dense] epoch {epoch + 1}/{cfg.epochs} loss={mean_loss:.4f}")
+        model.eval()
+        self.refresh_embeddings()
+        return losses

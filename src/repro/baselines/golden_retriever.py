@@ -1,0 +1,80 @@
+"""GoldEn baseline (Qi et al. 2019): IR retrieval + per-hop query expansion.
+
+GoldEn retrieves hop 1 with classical IR, generates a new query from the
+retrieved document (its trained generator is supervised by the LCS oracle
+— our :mod:`repro.updater.golden` implements that heuristic directly), and
+retrieves hop 2 with the expanded query.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.baselines.lexical import LexicalRetriever
+from repro.data.corpus import Corpus
+from repro.index.entity_index import EntityIndex
+from repro.updater.golden import golden_expansion_terms
+
+
+class GoldEnRetriever:
+    """BM25 hop-1 + entity query expansion + BM25 hop-2."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        linker: Optional[EntityIndex] = None,
+        field: str = "text",
+        k_hop1: int = 8,
+        k_hop2: int = 4,
+    ):
+        self.corpus = corpus
+        self.field = field
+        self.k_hop1 = k_hop1
+        self.k_hop2 = k_hop2
+        self.lexical = LexicalRetriever(corpus)
+        if linker is None:
+            linker = EntityIndex(corpus.titles())
+            for document in corpus:
+                linker.add_document(document.doc_id, document.text)
+        self.linker = linker
+
+    def generate_query(self, question: str, doc_id: int) -> str:
+        """Hop-2 query: question expanded with novel entities of the doc."""
+        terms = golden_expansion_terms(
+            question, self.linker.entities_of(doc_id), max_terms=1
+        )
+        if not terms:
+            return question
+        return f"{question} {' '.join(terms)}"
+
+    def retrieve_documents(self, question: str, k: int = 8) -> List[str]:
+        """One-hop retrieval (Table IV row): BM25 titles."""
+        return self.lexical.retrieve_titles(question, k=k, field=self.field)
+
+    def retrieve_paths(
+        self, question: str, k_paths: int = 8
+    ) -> List[Tuple[str, ...]]:
+        """Two-hop paths: hop-1 BM25, query generation, hop-2 BM25."""
+        paths: List[Tuple[str, ...]] = []
+        scores: List[float] = []
+        seen = set()
+        for hop1 in self.lexical.retrieve(question, k=self.k_hop1, field=self.field):
+            new_query = self.generate_query(question, hop1.doc_id)
+            for hop2 in self.lexical.retrieve(
+                new_query, k=self.k_hop2 + 1, field=self.field
+            ):
+                if hop2.doc_id == hop1.doc_id:
+                    continue
+                key = (hop1.doc_id, hop2.doc_id)
+                if key in seen:
+                    continue
+                seen.add(key)
+                paths.append(
+                    (
+                        self.corpus[hop1.doc_id].title,
+                        self.corpus[hop2.doc_id].title,
+                    )
+                )
+                scores.append(hop1.score + hop2.score)
+        order = sorted(range(len(paths)), key=lambda i: -scores[i])
+        return [paths[i] for i in order[:k_paths]]

@@ -1,0 +1,87 @@
+"""HopRetriever baseline (Li et al. 2020): entity-enriched dense retrieval.
+
+HopRetriever "leverages structured entity relation and unstructured
+introductory facts": each document's representation fuses its text
+encoding with embeddings of the entities mentioned in it, raising the
+weight of entity information in the matching space. The paper's critique
+(Sec. IV-E): entity overlap is only part of the needed semantics — which
+is exactly how this baseline behaves when the matching evidence is a
+non-entity token span.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.dense_base import DenseConfig, DenseRetriever
+from repro.data.corpus import Corpus
+from repro.encoder.minibert import MiniBertEncoder
+from repro.index.entity_index import EntityIndex
+
+
+class HopRetrieverBaseline(DenseRetriever):
+    """Dense retrieval whose document text is enriched with entity mentions."""
+
+    def __init__(
+        self,
+        encoder: MiniBertEncoder,
+        corpus: Corpus,
+        linker: Optional[EntityIndex] = None,
+        config: Optional[DenseConfig] = None,
+        entity_repeat: int = 2,
+        k_hop1: int = 8,
+        k_hop2: int = 4,
+    ):
+        super().__init__(encoder, corpus, config)
+        if linker is None:
+            linker = EntityIndex(corpus.titles())
+            for document in corpus:
+                linker.add_document(document.doc_id, document.text)
+        self.linker = linker
+        self.entity_repeat = entity_repeat
+        self.k_hop1 = k_hop1
+        self.k_hop2 = k_hop2
+
+    def document_text(self, doc_id: int) -> str:
+        """Text truncated as usual, then entity mentions appended
+        ``entity_repeat`` times — the lexical analogue of up-weighting
+        mention embeddings in the fused representation."""
+        base = super().document_text(doc_id)
+        entities = self.linker.entities_of(doc_id)
+        if not entities or self.entity_repeat <= 0:
+            return base
+        mention_block = " ".join(entities) * 1
+        return base + (" " + mention_block) * self.entity_repeat
+
+    def retrieve_documents(self, question: str, k: int = 8) -> List[str]:
+        return self.retrieve_titles(question, k=k)
+
+    def hop2_query(self, question: str, doc_id: int) -> str:
+        """Hop-2 query: question plus the hop-1 document's entity mentions
+        (its structured knowledge), not its full text."""
+        entities = self.linker.entities_of(doc_id)
+        return f"{question} {' '.join(entities)}" if entities else question
+
+    def retrieve_paths(
+        self, question: str, k_paths: int = 8
+    ) -> List[Tuple[str, ...]]:
+        paths: List[Tuple[str, ...]] = []
+        scores: List[float] = []
+        seen = set()
+        for hop1_id, hop1_score in self.retrieve(question, k=self.k_hop1):
+            query = self.hop2_query(question, hop1_id)
+            for hop2_id, hop2_score in self.retrieve(
+                query, k=self.k_hop2, exclude=[hop1_id]
+            ):
+                key = (hop1_id, hop2_id)
+                if key in seen:
+                    continue
+                seen.add(key)
+                paths.append(
+                    (self.corpus[hop1_id].title, self.corpus[hop2_id].title)
+                )
+                scores.append(hop1_score + hop2_score)
+        order = sorted(range(len(paths)), key=lambda i: -scores[i])
+        return [paths[i] for i in order[:k_paths]]

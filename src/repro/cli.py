@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli build  --out model_dir [--persons 70 ...]
+    python -m repro.cli query  --model model_dir "When was the club ... ?"
+    python -m repro.cli eval   --model model_dir [--n 100]
+    python -m repro.cli demo   "a sentence or two of text"   # OIE + Alg.1
+
+``build`` trains the full system on a freshly generated world and saves it
+(plus the world seed, so ``query``/``eval`` can rebuild the same corpus).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.data.documents import build_corpus
+from repro.data.hotpot import build_hotpot_dataset
+from repro.data.world import World, WorldConfig
+from repro.encoder.minibert import EncoderConfig
+from repro.eval.metrics import RetrievalScorecard, path_exact_match
+from repro.pipeline.framework import FrameworkConfig, TripleFactRetrieval
+from repro.retriever.trainer import TrainerConfig
+
+
+def _world_config(args) -> WorldConfig:
+    return WorldConfig(
+        n_persons=args.persons,
+        n_clubs=args.clubs,
+        n_bands=args.bands,
+        n_cities=args.cities,
+        seed=args.seed,
+    )
+
+
+def _rebuild(model_dir: Path):
+    meta = json.loads((model_dir / "meta.json").read_text())
+    world = World(WorldConfig(**meta["world"]))
+    corpus = build_corpus(world)
+    dataset = build_hotpot_dataset(world, corpus, **meta["dataset"])
+    config = FrameworkConfig(
+        encoder=EncoderConfig(**meta["encoder"]),
+    )
+    system = TripleFactRetrieval.load(model_dir, corpus, config=config)
+    return system, world, corpus, dataset
+
+
+def cmd_build(args) -> int:
+    world_config = _world_config(args)
+    world = World(world_config)
+    corpus = build_corpus(world)
+    dataset_kwargs = {"comparison_per_kind": args.comparisons}
+    dataset = build_hotpot_dataset(world, corpus, **dataset_kwargs)
+    encoder_config = EncoderConfig(
+        dim=args.dim, n_layers=1, n_heads=4, max_len=40, residual_scale=0.05
+    )
+    config = FrameworkConfig(
+        encoder=encoder_config,
+        retriever=TrainerConfig(epochs=args.epochs, lr=3e-4),
+        verbose=True,
+    )
+    print(f"building: {len(corpus)} docs, {len(dataset.train)} train questions")
+    system = TripleFactRetrieval(config).fit(corpus, dataset)
+    out = Path(args.out)
+    system.save(out)
+    meta = {
+        "world": world_config.__dict__,
+        "dataset": dataset_kwargs,
+        "encoder": encoder_config.__dict__,
+    }
+    (out / "meta.json").write_text(json.dumps(meta))
+    print(f"saved to {out}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    system, _world, _corpus, _dataset = _rebuild(Path(args.model))
+    for path in system.retrieve_paths(args.question, k=args.k):
+        print(path.explain())
+        print()
+    return 0
+
+
+def cmd_eval(args) -> int:
+    system, _world, _corpus, dataset = _rebuild(Path(args.model))
+    card = RetrievalScorecard()
+    questions = dataset.test[: args.n]
+    for question in questions:
+        paths = system.retrieve_paths(question.text, k=8)
+        card.add(
+            question.qtype,
+            path_exact_match([p.titles for p in paths], question.gold_titles),
+        )
+    print(f"questions: {len(questions)}")
+    for qtype in sorted(card.hits):
+        print(f"  {qtype}: PEM@8 = {card.rate(qtype):.3f}")
+    print(f"  total: PEM@8 = {card.total:.3f}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from repro.oie.union import extract_union
+    from repro.triples.construct import TripleSetConstructor
+
+    union = extract_union(args.text)
+    print(f"union extraction T_o ({len(union)} triples):")
+    for triple in union:
+        print(f"  {triple}")
+    result = TripleSetConstructor().construct(union)
+    print(f"\nconstructed T_d ({len(result.triples)} triples, "
+          f"{result.removed_children} children removed, {result.fused} fused):")
+    for triple in result.triples:
+        print(f"  {triple}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Triple-Fact Retriever CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="train and save a system")
+    build.add_argument("--out", required=True)
+    build.add_argument("--persons", type=int, default=70)
+    build.add_argument("--clubs", type=int, default=20)
+    build.add_argument("--bands", type=int, default=20)
+    build.add_argument("--cities", type=int, default=25)
+    build.add_argument("--comparisons", type=int, default=15)
+    build.add_argument("--seed", type=int, default=13)
+    build.add_argument("--dim", type=int, default=96)
+    build.add_argument("--epochs", type=int, default=2)
+    build.set_defaults(func=cmd_build)
+
+    query = sub.add_parser("query", help="ask a trained system a question")
+    query.add_argument("--model", required=True)
+    query.add_argument("--k", type=int, default=3)
+    query.add_argument("question")
+    query.set_defaults(func=cmd_query)
+
+    evaluate = sub.add_parser("eval", help="evaluate path PEM@8 on the test set")
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--n", type=int, default=100)
+    evaluate.set_defaults(func=cmd_eval)
+
+    demo = sub.add_parser("demo", help="run OIE + Algorithm 1 on raw text")
+    demo.add_argument("text")
+    demo.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

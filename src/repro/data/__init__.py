@@ -1,0 +1,37 @@
+"""Synthetic open-domain QA data substrate.
+
+The paper evaluates on HotpotQA (full-wiki) and Wikihop, neither of which is
+available offline. This subpackage builds a deterministic synthetic
+Wikipedia-style world that preserves the *shape* of the retrieval problem:
+
+* :mod:`repro.data.world` — a typed entity/relation knowledge world,
+* :mod:`repro.data.documents` — one encyclopedic document per entity, with
+  paraphrased relation sentences, distractors and hyperlinks,
+* :mod:`repro.data.corpus` — the document collection abstraction,
+* :mod:`repro.data.hotpot` — bridge / comparison two-hop questions with
+  gold document paths (HotpotQA-style),
+* :mod:`repro.data.wikihop` — (entity, relation, ?) queries with candidate
+  answers and support documents (Wikihop-style).
+"""
+
+from repro.data.world import World, WorldConfig, Entity, Fact
+from repro.data.corpus import Corpus, Document
+from repro.data.documents import build_corpus
+from repro.data.hotpot import HotpotDataset, HotpotQuestion, build_hotpot_dataset
+from repro.data.wikihop import WikihopDataset, WikihopQuery, build_wikihop_dataset
+
+__all__ = [
+    "World",
+    "WorldConfig",
+    "Entity",
+    "Fact",
+    "Corpus",
+    "Document",
+    "build_corpus",
+    "HotpotDataset",
+    "HotpotQuestion",
+    "build_hotpot_dataset",
+    "WikihopDataset",
+    "WikihopQuery",
+    "build_wikihop_dataset",
+]

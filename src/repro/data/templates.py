@@ -1,0 +1,350 @@
+"""Surface templates for documents and questions.
+
+Every relation has several paraphrase variants. Documents and questions draw
+variants independently, which creates the synonymy gap the paper's semantic
+retriever exploits over BM25 (e.g. a document says "was established in 1885"
+while the question asks "when was ... founded").
+
+Template conventions: ``{s}`` = subject surface form, ``{o}`` = object/value
+surface form, ``{pron}`` = subject pronoun ("He"/"She"/"It"/"The band"...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: relation -> list of declarative sentence templates (document side).
+SENTENCE_TEMPLATES: Dict[str, List[str]] = {
+    "plays_for": [
+        "{pron} played at centre forward for {o}.",
+        "{pron} spent his career with {o}.",
+        "{pron} turned out for {o}.",
+        "{pron} was a forward at {o}.",
+    ],
+    "member_of": [
+        "{pron} was a founding member of {o}.",
+        "{pron} performed with {o}.",
+        "{pron} joined the group {o}.",
+    ],
+    "born_in": [
+        "{pron} was born in {o}.",
+        "{pron} was a native of {o}.",
+    ],
+    "educated_at": [
+        "{pron} was educated at {o}.",
+        "{pron} studied at {o}.",
+        "{pron} graduated from {o}.",
+    ],
+    "won": [
+        "{pron} won the {o}.",
+        "{pron} was awarded the {o}.",
+        "{pron} received the {o}.",
+    ],
+    "occupation": [
+        "{pron} worked as a {o}.",
+        "{pron} was known as a {o}.",
+    ],
+    "birth_year": [
+        "{pron} was born in {o}.",
+    ],
+    "founded_year": [
+        "{pron} was founded in {o}.",
+        "{pron} was established in {o}.",
+        "{pron} was formed in {o}.",
+        "{pron} came into existence in {o}.",
+    ],
+    "based_in": [
+        "{pron} is based in {o}.",
+        "{pron} plays its home games in {o}.",
+    ],
+    "league": [
+        "{pron} competes in the {o}.",
+        "{pron} is a member of the {o}.",
+    ],
+    "formed_year": [
+        "{pron} was formed in {o}.",
+        "{pron} began performing in {o}.",
+        "{pron} was started in {o}.",
+    ],
+    "origin": [
+        "{pron} comes from {o}.",
+        "{pron} originated in {o}.",
+    ],
+    "genre": [
+        "{pron} plays {o} music.",
+        "{pron} is known for its {o} sound.",
+    ],
+    "member_count": [
+        "{pron} consists of {o} members.",
+        "{pron} has {o} members.",
+    ],
+    "label": [
+        "{pron} is signed to {o}.",
+        "{pron} records for {o}.",
+    ],
+    "located_in": [
+        "{pron} is located in {o}.",
+        "{pron} lies in {o}.",
+    ],
+    "population": [
+        "{pron} has a population of {o}.",
+        "{pron} is home to {o} residents.",
+    ],
+    "city_founded_year": [
+        "{pron} was founded in {o}.",
+        "{pron} dates back to {o}.",
+    ],
+    "headquartered_in": [
+        "{pron} is headquartered in {o}.",
+        "{pron} has its head office in {o}.",
+    ],
+    "industry": [
+        "{pron} operates in the {o} industry.",
+        "{pron} is active in {o}.",
+    ],
+    "company_founded_year": [
+        "{pron} was founded in {o}.",
+        "{pron} was incorporated in {o}.",
+    ],
+    "directed_by": [
+        "{pron} was directed by {o}.",
+        "{pron} is a work of the director {o}.",
+    ],
+    "released_year": [
+        "{pron} was released in {o}.",
+        "{pron} premiered in {o}.",
+    ],
+    "film_genre": [
+        "{pron} is a {o} film.",
+    ],
+    "univ_located_in": [
+        "{pron} is located in {o}.",
+        "{pron} has its campus in {o}.",
+    ],
+    "established_year": [
+        "{pron} was established in {o}.",
+        "{pron} was founded in {o}.",
+    ],
+    "award_field": [
+        "{pron} honours achievement in {o}.",
+        "{pron} is given for excellence in {o}.",
+    ],
+    "capital": [
+        "{pron} has its capital at {o}.",
+        "The capital of {s} is {o}.",
+    ],
+}
+
+#: Bridge-question templates, keyed by the second-hop relation. ``{desc}``
+#: is the description of the bridge entity via the first-hop relation.
+BRIDGE_QUESTION_TEMPLATES: Dict[str, List[str]] = {
+    "founded_year": [
+        "When was the football club that {desc} founded?",
+        "In what year was the club that {desc} established?",
+    ],
+    "based_in": [
+        "Where is the football club that {desc} based?",
+        "In which city does the club that {desc} play?",
+    ],
+    "league": [
+        "Which league does the club that {desc} compete in?",
+    ],
+    "formed_year": [
+        "When was the band that {desc} formed?",
+        "In what year did the band that {desc} begin performing?",
+    ],
+    "origin": [
+        "Where does the band that {desc} come from?",
+    ],
+    "genre": [
+        "What genre of music does the band that {desc} play?",
+    ],
+    "member_count": [
+        "How many members does the band that {desc} have?",
+    ],
+    "label": [
+        "Which record label is the band that {desc} signed to?",
+    ],
+    "located_in": [
+        "In which country is the city where {desc} located?",
+    ],
+    "population": [
+        "What is the population of the city where {desc}?",
+    ],
+    "established_year": [
+        "When was the university that {desc} established?",
+        "In what year was the institution where {desc} founded?",
+    ],
+    "univ_located_in": [
+        "In which city is the university that {desc}?",
+    ],
+    "headquartered_in": [
+        "Where is the company that {desc} headquartered?",
+    ],
+    "industry": [
+        "In which industry does the company that {desc} operate?",
+    ],
+    "award_field": [
+        "In what field is the award that {desc} given?",
+    ],
+}
+
+#: First-hop descriptions, keyed by relation; ``{s}`` = anchor entity name.
+#: These describe the *bridge* entity through its link to the anchor.
+BRIDGE_DESC_TEMPLATES: Dict[str, List[str]] = {
+    "plays_for": [
+        "{s} played at centre forward for",
+        "{s} spent his career at",
+        "{s} appeared for",
+    ],
+    "member_of": [
+        "{s} performed with",
+        "{s} was a member of",
+    ],
+    "educated_at": [
+        "{s} studied at",
+        "{s} graduated from",
+    ],
+    "won": [
+        "{s} won",
+        "{s} received",
+    ],
+    "born_in": [
+        "{s} was born",
+        "{s} grew up",
+    ],
+    "based_in": [
+        "{s} plays its home games",
+    ],
+    "origin": [
+        "{s} originated",
+    ],
+    "label": [
+        "{s} records for",
+    ],
+    "directed_by": [
+        "directed {s}",
+        "made the film {s}",
+    ],
+}
+
+#: Comparison-question templates, keyed by the compared relation.
+#: ``{a}`` / ``{b}`` are the two entity names.
+COMPARISON_QUESTION_TEMPLATES: Dict[str, List[str]] = {
+    "member_count": [
+        "Did {a} and {b} have the same number of members?",
+        "Do the bands {a} and {b} consist of the same number of members?",
+    ],
+    "formed_year": [
+        "Which band was formed first, {a} or {b}?",
+        "Was {a} formed before {b}?",
+    ],
+    "genre": [
+        "Do {a} and {b} play the same genre of music?",
+    ],
+    "founded_year": [
+        "Which football club was founded first, {a} or {b}?",
+        "Was the club {a} established before {b}?",
+    ],
+    "league": [
+        "Do {a} and {b} compete in the same league?",
+    ],
+    "birth_year": [
+        "Who was born first, {a} or {b}?",
+    ],
+    "occupation": [
+        "Did {a} and {b} have the same occupation?",
+    ],
+    "released_year": [
+        "Which film was released first, {a} or {b}?",
+    ],
+    "population": [
+        "Which city has the larger population, {a} or {b}?",
+    ],
+}
+
+#: Question-side synonyms for occupations. The document always uses the
+#: canonical word; a descriptive question may use the synonym instead —
+#: the synonymy gap (paper Sec. I) that pure lexical matching cannot cross
+#: and the fine-tuned encoder must learn.
+OCCUPATION_SYNONYMS: Dict[str, str] = {
+    "footballer": "football player",
+    "historian": "scholar",
+    "novelist": "writer",
+    "architect": "designer",
+    "physicist": "scientist",
+    "journalist": "reporter",
+    "composer": "songwriter",
+    "sculptor": "artist",
+    "actor": "performer",
+    "engineer": "technician",
+}
+
+#: Pronoun used in document sentences after the first, per entity kind.
+KIND_PRONOUNS: Dict[str, Tuple[str, ...]] = {
+    "person": ("He", "She"),
+    "club": ("The club", "It"),
+    "band": ("The band", "It"),
+    "city": ("The city", "It"),
+    "country": ("The country", "It"),
+    "company": ("The company", "It"),
+    "film": ("The film", "It"),
+    "university": ("The university", "It"),
+    "award": ("The award", "It"),
+}
+
+#: Introductory sentence per entity kind; ``{name}`` = entity name,
+#: ``{extra}`` = kind-specific detail phrase.
+INTRO_TEMPLATES: Dict[str, List[str]] = {
+    "person": [
+        "{name} was a {extra}.",
+        "{name} is a {extra}.",
+    ],
+    "club": [
+        "{name} is a professional football club.",
+        "{name} is an association football club.",
+    ],
+    "band": [
+        "{name} is a musical group.",
+        "{name} are a rock band.",
+    ],
+    "city": [
+        "{name} is a city.",
+        "{name} is an urban settlement.",
+    ],
+    "country": [
+        "{name} is a sovereign country.",
+    ],
+    "company": [
+        "{name} is a commercial company.",
+    ],
+    "film": [
+        "{name} is a feature film.",
+    ],
+    "university": [
+        "{name} is an institution of higher education.",
+    ],
+    "award": [
+        "{name} is an annual prize.",
+    ],
+}
+
+#: Distractor sentence templates, appended to pad documents with noise the
+#: retriever must ignore (paper Sec. I: "most information in the document is
+#: not related to the question"). Crucially their subjects are *not*
+#: entities ("A rival club", "Local historians") while their objects reuse
+#: question-colliding tokens — years, city names, relation verbs — so full-
+#: text lexical matching picks up false signal that Eq. 1 relatedness
+#: pruning removes from the triple-fact field.
+DISTRACTOR_TEMPLATES: List[str] = [
+    "A rival club established in {year} also drew crowds in {city}.",
+    "An unrelated band formed in {year} once performed in {city}.",
+    "Local historians founded a society in {year}.",
+    "A touring side from {city} played an exhibition match in {year}.",
+    "An earlier venue built in {year} stood near {city}.",
+    "A defunct company incorporated in {year} kept an office in {city}.",
+    "Several residents born in {city} wrote memoirs about the period.",
+    "A commemorative plaque was unveiled in {year}.",
+    "Local newspapers in {city} covered the story at the time.",
+    "A festival founded in {year} is still observed in {city}.",
+]

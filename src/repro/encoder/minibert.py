@@ -1,0 +1,172 @@
+"""MiniBERT: the shared-parameter text encoder (paper Sec. III-B).
+
+Encodes questions and flattened triple facts into the same vector space
+with one parameter-shared transformer: tokenize, add [CLS]/[SEP], pad to a
+batch, run the encoder, take the [CLS] hidden state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.nn.serialize import load_weights, save_weights
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import TransformerEncoder
+from repro.text.tokenize import tokenize
+from repro.text.vocab import Vocab
+
+
+@dataclass
+class EncoderConfig:
+    """MiniBERT hyper-parameters (a faithful but CPU-sized BERT).
+
+    ``pooling`` selects the sentence representation: ``"cls"`` is the
+    paper's choice on full-size BERT; ``"mean"`` (masked mean over token
+    states, Sentence-BERT style) is the default here because a 2-layer
+    CPU-sized encoder cannot bind token identity into [CLS] the way a
+    12-layer pre-trained BERT can — mean pooling preserves the behaviour
+    the paper gets from CLS at full scale.
+    """
+
+    dim: int = 96
+    n_layers: int = 1
+    n_heads: int = 4
+    ffn_dim: Optional[int] = None
+    max_len: int = 48
+    dropout: float = 0.0
+    pooling: str = "mean"  # "mean" or "cls"
+    residual_scale: float = 0.05  # GPT-2-style near-identity block init
+    seed: int = 7
+
+
+class MiniBertEncoder:
+    """Shared-parameter encoder for questions and triple facts.
+
+    The paper: "We use a pre-trained language model, i.e., Bert, ... we
+    take the final hidden state for the special [CLS] label as the
+    representation for the input sentence."
+    """
+
+    def __init__(self, vocab: Vocab, config: Optional[EncoderConfig] = None):
+        self.vocab = vocab
+        self.config = config or EncoderConfig()
+        self.model = TransformerEncoder(
+            vocab_size=len(vocab),
+            dim=self.config.dim,
+            n_layers=self.config.n_layers,
+            n_heads=self.config.n_heads,
+            ffn_dim=self.config.ffn_dim,
+            max_len=self.config.max_len,
+            dropout=self.config.dropout,
+            pad_id=vocab.pad_id,
+            seed=self.config.seed,
+            residual_scale=self.config.residual_scale,
+        )
+        # per-token pooling weights; uniform until fit_idf() is called
+        self._token_weights = np.ones(len(vocab))
+        self._token_weights[vocab.pad_id] = 0.0
+
+    def fit_idf(self, texts: Sequence[str]) -> None:
+        """Fit IDF pooling weights from a text collection.
+
+        Mean pooling weights each token by its inverse document frequency,
+        so rare (informative) tokens dominate the sentence vector — the
+        behaviour a fully pre-trained BERT's attention provides implicitly
+        and a CPU-sized model cannot learn from scratch. Special tokens
+        get zero weight.
+        """
+        doc_freq = np.zeros(len(self.vocab))
+        n_docs = 0
+        for text in texts:
+            n_docs += 1
+            for token_id in set(self.vocab.encode(tokenize(text))):
+                doc_freq[token_id] += 1
+        idf = np.log(1.0 + (n_docs + 1.0) / (doc_freq + 1.0))
+        for special in (self.vocab.pad_id, self.vocab.cls_id, self.vocab.sep_id,
+                        self.vocab.mask_id):
+            idf[special] = 0.0
+        self._token_weights = idf
+
+    # -- tokenization ----------------------------------------------------
+    def text_to_ids(self, text: str) -> List[int]:
+        """[CLS] tokens [SEP], truncated to the model's max length."""
+        tokens = tokenize(text)
+        body = self.vocab.encode(tokens)[: self.config.max_len - 2]
+        return [self.vocab.cls_id] + body + [self.vocab.sep_id]
+
+    def batch_ids(
+        self, texts: Sequence[str]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pad a batch of texts to a rectangular id matrix + mask."""
+        encoded = [self.text_to_ids(t) for t in texts]
+        width = max(len(ids) for ids in encoded)
+        pad = self.vocab.pad_id
+        ids = np.full((len(encoded), width), pad, dtype=np.int64)
+        mask = np.zeros((len(encoded), width), dtype=np.float64)
+        for row, seq in enumerate(encoded):
+            ids[row, : len(seq)] = seq
+            mask[row, : len(seq)] = 1.0
+        return ids, mask
+
+    # -- encoding ----------------------------------------------------------
+    def encode(self, texts: Sequence[str]) -> Tensor:
+        """Encode texts to sentence embeddings (N, dim), with gradients.
+
+        Pooling follows ``config.pooling``: the [CLS] state or the masked
+        mean of token states.
+        """
+        if not texts:
+            raise ValueError("encode() requires at least one text")
+        ids, mask = self.batch_ids(texts)
+        if self.config.pooling == "cls":
+            return self.model.encode_cls(ids, mask=mask)
+        hidden = self.model(ids, mask=mask)  # (N, S, D)
+        weights = self._token_weights[ids] * mask  # idf-weighted pooling
+        totals = weights.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        weights_t = Tensor(weights[:, :, None])
+        summed = (hidden * weights_t).sum(axis=1)
+        return summed / Tensor(totals)
+
+    def encode_numpy(self, texts: Sequence[str], batch_size: int = 64) -> np.ndarray:
+        """Gradient-free encoding for inference; batches long inputs."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            chunks = []
+            for start in range(0, len(texts), batch_size):
+                chunk = texts[start : start + batch_size]
+                chunks.append(self.encode(chunk).numpy())
+            return np.concatenate(chunks, axis=0) if chunks else np.zeros(
+                (0, self.config.dim)
+            )
+        finally:
+            if was_training:
+                self.model.train()
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> None:
+        """Persist weights + vocab into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_weights(self.model, directory / "weights.npz")
+        self.vocab.save(directory / "vocab.json")
+        np.save(directory / "token_weights.npy", self._token_weights)
+
+    @classmethod
+    def load(
+        cls, directory: Union[str, Path], config: Optional[EncoderConfig] = None
+    ) -> "MiniBertEncoder":
+        """Restore an encoder saved by :meth:`save`."""
+        directory = Path(directory)
+        vocab = Vocab.load(directory / "vocab.json")
+        encoder = cls(vocab, config=config)
+        load_weights(encoder.model, directory / "weights.npz")
+        weights_path = directory / "token_weights.npy"
+        if weights_path.exists():
+            encoder._token_weights = np.load(weights_path)
+        return encoder

@@ -1,0 +1,32 @@
+"""Evaluation: the paper's metrics and per-table experiment harnesses."""
+
+from repro.eval.metrics import (
+    paragraph_recall,
+    paragraph_exact_match,
+    path_exact_match,
+    RetrievalScorecard,
+)
+from repro.eval.harness import (
+    ExperimentContext,
+    ExperimentScale,
+    SMALL,
+    FULL,
+    current_scale,
+    shared_context,
+)
+from repro.eval.tables import format_table, row_from_scorecard
+
+__all__ = [
+    "paragraph_recall",
+    "paragraph_exact_match",
+    "path_exact_match",
+    "RetrievalScorecard",
+    "ExperimentContext",
+    "ExperimentScale",
+    "SMALL",
+    "FULL",
+    "current_scale",
+    "shared_context",
+    "format_table",
+    "row_from_scorecard",
+]

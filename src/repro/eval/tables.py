@@ -1,0 +1,45 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value * 100:.1f}%" if 0 <= value <= 1 else f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table (percentages for floats in [0, 1])."""
+    rendered = [[format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(r) for r in rendered)
+    return "\n".join(out)
+
+
+def row_from_scorecard(name: str, card) -> List[Cell]:
+    """[name, bridge, comparison, total] from a RetrievalScorecard."""
+    return [
+        name,
+        card.rate("bridge"),
+        card.rate("comparison"),
+        card.total,
+    ]

@@ -1,0 +1,19 @@
+"""Triple-fact knowledge graph (the paper's stated future work).
+
+"We plan to explore the graph structure of the triple facts for document
+retrieval" (Sec. VI). This subpackage builds that structure: a networkx
+graph over the corpus's constructed triple facts, with entities as nodes
+and triples as provenance-carrying edges, plus graph-assisted retrieval —
+candidate expansion along triple edges and connectivity-based path
+reranking.
+"""
+
+from repro.graph.builder import TripleGraph, build_triple_graph
+from repro.graph.retrieval import GraphAssistedReranker, graph_expand_candidates
+
+__all__ = [
+    "TripleGraph",
+    "build_triple_graph",
+    "GraphAssistedReranker",
+    "graph_expand_candidates",
+]

@@ -1,0 +1,169 @@
+"""Build a knowledge graph from a corpus's constructed triple facts.
+
+Nodes are entities (documents' title entities and every linked mention);
+each triple whose subject and object both link to entities contributes an
+edge labelled with the predicate and the source document. The graph is the
+structured counterpart of the hyperlink graph PathRetriever uses — but
+derived from extracted facts, so two documents can be connected even when
+no hyperlink exists (the failure mode the paper calls out for [3]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.data.corpus import Corpus
+from repro.index.entity_index import EntityIndex
+from repro.oie.triple import Triple
+from repro.retriever.store import TripleStore
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One triple-derived edge."""
+
+    subject: str
+    object: str
+    predicate: str
+    doc_id: int
+    triple: Triple
+
+
+class TripleGraph:
+    """A networkx MultiDiGraph over entities with triple-fact edges."""
+
+    def __init__(self, corpus: Corpus):
+        self.corpus = corpus
+        self.graph = nx.MultiDiGraph()
+        self._doc_entities: Dict[int, Set[str]] = {}
+
+    # -- construction -----------------------------------------------------
+    def add_edge(self, edge: GraphEdge) -> None:
+        self.graph.add_node(edge.subject)
+        self.graph.add_node(edge.object)
+        self.graph.add_edge(
+            edge.subject,
+            edge.object,
+            predicate=edge.predicate,
+            doc_id=edge.doc_id,
+            triple=edge.triple,
+        )
+        self._doc_entities.setdefault(edge.doc_id, set()).update(
+            (edge.subject, edge.object)
+        )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def neighbours(self, entity: str) -> List[str]:
+        """Entities one triple-edge away (either direction)."""
+        if entity not in self.graph:
+            return []
+        out = set(self.graph.successors(entity))
+        out.update(self.graph.predecessors(entity))
+        out.discard(entity)
+        return sorted(out)
+
+    def edges_between(self, a: str, b: str) -> List[GraphEdge]:
+        """All triple edges connecting ``a`` and ``b`` (either direction)."""
+        found: List[GraphEdge] = []
+        for u, v in ((a, b), (b, a)):
+            if self.graph.has_edge(u, v):
+                for _, data in self.graph[u][v].items():
+                    found.append(
+                        GraphEdge(
+                            subject=u,
+                            object=v,
+                            predicate=data["predicate"],
+                            doc_id=data["doc_id"],
+                            triple=data["triple"],
+                        )
+                    )
+        return found
+
+    def documents_of(self, entity: str) -> Set[int]:
+        """Documents whose triples mention ``entity``."""
+        return {
+            doc_id
+            for doc_id, entities in self._doc_entities.items()
+            if entity in entities
+        }
+
+    def doc_entities(self, doc_id: int) -> Set[str]:
+        """Entities contributed to the graph by one document."""
+        return set(self._doc_entities.get(doc_id, set()))
+
+    def docs_connected(self, doc_a: int, doc_b: int) -> bool:
+        """True when the two documents share an entity or a triple edge
+        connects their entity sets — the graph-level evidence that a
+        (doc_a, doc_b) reasoning path is coherent."""
+        entities_a = self.doc_entities(doc_a)
+        entities_b = self.doc_entities(doc_b)
+        if entities_a & entities_b:
+            return True
+        return any(
+            self.graph.has_edge(a, b) or self.graph.has_edge(b, a)
+            for a in entities_a
+            for b in entities_b
+        )
+
+    def entity_paths(
+        self, source: str, target: str, cutoff: int = 3
+    ) -> List[List[str]]:
+        """Simple entity paths between two nodes (reasoning chains)."""
+        if source not in self.graph or target not in self.graph:
+            return []
+        undirected = self.graph.to_undirected(as_view=True)
+        return [
+            list(path)
+            for path in nx.all_simple_paths(
+                undirected, source, target, cutoff=cutoff
+            )
+        ]
+
+
+def build_triple_graph(
+    corpus: Corpus,
+    store: TripleStore,
+    linker: Optional[EntityIndex] = None,
+) -> TripleGraph:
+    """Construct the triple graph for a corpus.
+
+    Edges require both endpoints to link to known entities; literal-valued
+    triples (years, counts) contribute no edge but their subjects still
+    become nodes via other triples.
+    """
+    if linker is None:
+        linker = EntityIndex(corpus.titles())
+    graph = TripleGraph(corpus)
+    for document in corpus:
+        for triple in store.triples(document.doc_id):
+            subjects = linker.link(triple.subject)
+            objects = []
+            for obj in (triple.object,) + triple.extra_objects:
+                objects.extend(linker.link(obj))
+            if not subjects or not objects:
+                continue
+            subject = subjects[0]
+            for obj in objects:
+                if obj == subject:
+                    continue
+                graph.add_edge(
+                    GraphEdge(
+                        subject=subject,
+                        object=obj,
+                        predicate=triple.predicate,
+                        doc_id=document.doc_id,
+                        triple=triple,
+                    )
+                )
+    return graph

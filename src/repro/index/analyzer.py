@@ -1,0 +1,41 @@
+"""Analysis pipeline: raw text -> index terms.
+
+Mirrors a standard Lucene/Elasticsearch analyzer chain: tokenize,
+lower-case, drop stopwords and punctuation, stem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.text.stem import stem
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True)
+class Analyzer:
+    """Configurable text -> terms pipeline.
+
+    Parameters
+    ----------
+    use_stemming:
+        Apply the Porter-style stemmer to each term.
+    remove_stopwords:
+        Drop stopwords and bare punctuation tokens.
+    """
+
+    use_stemming: bool = True
+    remove_stopwords: bool = True
+
+    def analyze(self, text: str) -> List[str]:
+        """Convert raw ``text`` into a list of index terms."""
+        terms = tokenize(text)
+        if self.remove_stopwords:
+            terms = [t for t in terms if t not in STOPWORDS and t[:1].isalnum()]
+        else:
+            terms = [t for t in terms if t[:1].isalnum()]
+        if self.use_stemming:
+            terms = [stem(t) for t in terms]
+        return terms

@@ -1,0 +1,85 @@
+"""Entity index: surface-form entity linking over a corpus.
+
+Provides the two entity facilities the paper relies on:
+
+* per-document linked-entity sets (``E_d`` in Eq. 1, the relatedness score),
+* entity -> documents postings (used by the HopRetriever baseline and by
+  the world's hyperlink graph construction).
+
+Linking is longest-match-first exact phrase matching over a dictionary of
+known entity names — the standard "mention dictionary" linker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.text.tokenize import tokenize
+
+
+class EntityIndex:
+    """Dictionary-based entity linker + entity->document postings."""
+
+    def __init__(self, entity_names: Iterable[str]):
+        self._names: Set[str] = set(entity_names)
+        # token-tuple -> canonical name, longest matches first at query time
+        self._by_tokens: Dict[tuple, str] = {}
+        self._max_len = 1
+        for name in self._names:
+            key = tuple(tokenize(name))
+            if key:
+                self._by_tokens[key] = name
+                self._max_len = max(self._max_len, len(key))
+        self._doc_entities: Dict[int, List[str]] = {}
+        self._entity_docs: Dict[str, List[int]] = {}
+
+    # -- linking ----------------------------------------------------------
+    def link(self, text: str) -> List[str]:
+        """Return entity names mentioned in ``text`` (greedy longest match).
+
+        Each text position is consumed by at most one mention, so nested
+        mentions resolve to the longest span.
+        """
+        tokens = tokenize(text)
+        found: List[str] = []
+        seen: Set[str] = set()
+        i = 0
+        n = len(tokens)
+        while i < n:
+            matched = False
+            for length in range(min(self._max_len, n - i), 0, -1):
+                key = tuple(tokens[i : i + length])
+                name = self._by_tokens.get(key)
+                if name is not None:
+                    if name not in seen:
+                        seen.add(name)
+                        found.append(name)
+                    i += length
+                    matched = True
+                    break
+            if not matched:
+                i += 1
+        return found
+
+    # -- corpus registration ----------------------------------------------
+    def add_document(self, doc_id: int, text: str) -> List[str]:
+        """Link ``text`` and record the result for ``doc_id``."""
+        entities = self.link(text)
+        self._doc_entities[doc_id] = entities
+        for name in entities:
+            self._entity_docs.setdefault(name, []).append(doc_id)
+        return entities
+
+    def entities_of(self, doc_id: int) -> List[str]:
+        """Linked entities of ``doc_id`` (``E_d``)."""
+        return list(self._doc_entities.get(doc_id, ()))
+
+    def documents_with(self, entity: str) -> List[int]:
+        """Documents mentioning ``entity``."""
+        return list(self._entity_docs.get(entity, ()))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __len__(self) -> int:
+        return len(self._names)

@@ -1,0 +1,70 @@
+"""TF-IDF cosine scoring over one index field.
+
+The classical baseline the paper cites (Chen et al. 2017 DrQA-style): log
+term frequency, smoothed idf, cosine normalization on the document side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Sequence
+
+from repro.index.postings import Field
+
+
+@dataclass
+class TfidfScorer:
+    """ltc-style TF-IDF with cached document norms."""
+
+    _norms: Dict[int, float] = dataclass_field(default_factory=dict, repr=False)
+    _norm_field: Field = dataclass_field(default=None, repr=False)
+
+    def idf(self, field: Field, term: str) -> float:
+        """Smoothed idf: log((1 + N) / (1 + df)) + 1."""
+        df = field.doc_freq(term)
+        n = field.doc_count
+        return math.log((1.0 + n) / (1.0 + df)) + 1.0
+
+    def _ensure_norms(self, field: Field) -> None:
+        if self._norm_field is field and self._norms:
+            return
+        sums: Dict[int, float] = {}
+        for term in field.vocabulary():
+            idf = self.idf(field, term)
+            for posting in field.postings(term):
+                weight = (1.0 + math.log(posting.term_freq)) * idf
+                sums[posting.doc_id] = sums.get(posting.doc_id, 0.0) + weight * weight
+        self._norms = {doc: math.sqrt(total) for doc, total in sums.items()}
+        self._norm_field = field
+
+    def scores(self, field: Field, query_terms: Sequence[str]) -> Dict[int, float]:
+        """Cosine similarity of the query to every matching document."""
+        self._ensure_norms(field)
+        query_counts: Dict[str, int] = {}
+        for term in query_terms:
+            query_counts[term] = query_counts.get(term, 0) + 1
+        accum: Dict[int, float] = {}
+        query_norm_sq = 0.0
+        for term, count in query_counts.items():
+            idf = self.idf(field, term)
+            query_weight = (1.0 + math.log(count)) * idf
+            query_norm_sq += query_weight * query_weight
+            for posting in field.postings(term):
+                doc_weight = (1.0 + math.log(posting.term_freq)) * idf
+                accum[posting.doc_id] = (
+                    accum.get(posting.doc_id, 0.0) + query_weight * doc_weight
+                )
+        if not accum:
+            return {}
+        query_norm = math.sqrt(query_norm_sq) or 1.0
+        return {
+            doc: dot / (query_norm * (self._norms.get(doc) or 1.0))
+            for doc, dot in accum.items()
+        }
+
+    def top_k(self, field: Field, query_terms: Sequence[str], k: int) -> List[tuple]:
+        """Top ``k`` (doc_id, score) pairs, best first; stable by doc id."""
+        scored = self.scores(field, query_terms)
+        ranked = sorted(scored.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]

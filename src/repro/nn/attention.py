@@ -1,0 +1,60 @@
+"""Multi-head self-attention (Vaswani et al.), batched.
+
+Input: (batch, seq, dim) plus an attention mask (batch, seq) of 1/0.
+Padding positions receive a large negative additive bias before softmax.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+
+_NEG_INF = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled dot-product multi-head self-attention."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        rng: Optional[np.random.RandomState] = None,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        rng = rng or np.random.RandomState(0)
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.query = Linear(dim, dim, rng=rng)
+        self.key = Linear(dim, dim, rng=rng)
+        self.value = Linear(dim, dim, rng=rng)
+        self.output = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, S, D) -> (B, H, S, Dh)
+        return x.reshape(batch, seq, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            # mask: (B, S) with 1 = attend, 0 = padding
+            bias = (1.0 - np.asarray(mask, dtype=np.float64)) * _NEG_INF
+            scores = scores + Tensor(bias[:, None, None, :])
+        attn = scores.softmax(axis=-1)
+        attn = self.dropout(attn)
+        context = attn @ v  # (B, H, S, Dh)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.output(merged)

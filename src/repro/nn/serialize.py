@@ -1,0 +1,35 @@
+"""Weight (de)serialization for modules, as compressed .npz archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_weights(module: Module, path: Union[str, Path]) -> None:
+    """Write all named parameters of ``module`` to an .npz file."""
+    arrays = {name: tensor.data for name, tensor in module.named_parameters()}
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_weights(module: Module, path: Union[str, Path]) -> None:
+    """Load parameters saved by :func:`save_weights` into ``module``.
+
+    Raises KeyError on missing parameters and ValueError on shape
+    mismatches, so silent architecture drift is impossible.
+    """
+    archive = np.load(str(path))
+    for name, tensor in module.named_parameters():
+        if name not in archive:
+            raise KeyError(f"missing parameter {name!r} in {path}")
+        data = archive[name]
+        if data.shape != tensor.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: file {data.shape}, "
+                f"module {tensor.data.shape}"
+            )
+        tensor.data = data.astype(np.float64)

@@ -1,0 +1,28 @@
+"""Open Information Extraction substrate.
+
+Stand-ins for the two sentence-level OIE tools the paper deploys:
+
+* :mod:`repro.oie.pattern` — "StanfordIE-style": pattern extraction that
+  over-generates (keeps determiners, emits conjunct cascades — the noisy
+  triples of the paper's Fig. 3),
+* :mod:`repro.oie.minie` — "MinIE-style": minimized constituents, split
+  prepositional attachments, better long-sentence behaviour,
+* :mod:`repro.oie.union` — the union set ``T_o = T_d^s ∪ T_d^m`` that
+  Algorithm 1 consumes.
+"""
+
+from repro.oie.triple import Triple
+from repro.oie.base import OpenIEExtractor, parse_clause
+from repro.oie.pattern import PatternExtractor
+from repro.oie.minie import MinIEExtractor
+from repro.oie.union import UnionExtractor, extract_union
+
+__all__ = [
+    "Triple",
+    "OpenIEExtractor",
+    "parse_clause",
+    "PatternExtractor",
+    "MinIEExtractor",
+    "UnionExtractor",
+    "extract_union",
+]

@@ -1,0 +1,77 @@
+"""StanfordIE-style pattern extractor.
+
+Reproduces the qualitative profile of Angeli et al.'s extractor as the
+paper characterizes it (Sec. IV-C and Fig. 3): it over-generates —
+
+* a maximal triple spanning the whole remainder,
+* one triple per conjunct of coordinated objects (keeping determiners),
+* cascading *noise* triples between adjacent conjuncts (the paper's
+  Fig. 3 items 6-9: ``[civil rights activist, is, historian]``),
+* weaker behaviour on long sentences: when the remainder has many
+  prepositional segments, attachment is not split out, so the object is a
+  long low-precision span.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.oie.base import OpenIEExtractor, parse_clause, split_conjuncts
+from repro.oie.triple import Triple
+
+
+class PatternExtractor(OpenIEExtractor):
+    """Over-generating pattern OIE (StanfordIE stand-in)."""
+
+    name = "pattern"
+
+    def __init__(self, emit_noise_cascade: bool = True):
+        self.emit_noise_cascade = emit_noise_cascade
+
+    def extract_sentence(self, sentence: str, sentence_index: int = 0) -> List[Triple]:
+        clause = parse_clause(sentence)
+        if clause is None or not clause.segments:
+            return []
+        subject = clause.subject_text
+        verb = clause.verb_text
+        triples: List[Triple] = [
+            Triple(
+                subject=subject,
+                predicate=verb,
+                object=clause.remainder_text,
+                source=self.name,
+                sentence_index=sentence_index,
+                confidence=1.0,
+            )
+        ]
+        # conjunct splitting on the first (direct-object) segment of copulas
+        first = clause.segments[0]
+        if clause.is_copula and first.preposition is None:
+            conjuncts = split_conjuncts(first.tokens)
+            if len(conjuncts) > 1:
+                for conjunct in conjuncts:
+                    triples.append(
+                        Triple(
+                            subject=subject,
+                            predicate=verb,
+                            object=" ".join(conjunct),
+                            source=self.name,
+                            sentence_index=sentence_index,
+                            confidence=0.8,
+                        )
+                    )
+                if self.emit_noise_cascade:
+                    # Fig. 3 items 6-9: adjacent conjuncts chained as if one
+                    # were the subject of the next.
+                    for left, right in zip(conjuncts, conjuncts[1:]):
+                        triples.append(
+                            Triple(
+                                subject=" ".join(left),
+                                predicate=verb,
+                                object=" ".join(right),
+                                source=self.name,
+                                sentence_index=sentence_index,
+                                confidence=0.3,
+                            )
+                        )
+        return triples

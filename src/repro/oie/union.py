@@ -1,0 +1,64 @@
+"""Union extraction: ``T_o = T_d^s ∪ T_d^m`` (paper Sec. IV-B).
+
+Runs both extractors over a document and merges the results, de-duplicating
+exact content matches while preserving provenance of the survivor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.oie.base import OpenIEExtractor
+from repro.oie.minie import MinIEExtractor
+from repro.oie.pattern import PatternExtractor
+from repro.oie.triple import Triple
+
+
+def dedupe_triples(triples: Sequence[Triple]) -> List[Triple]:
+    """Drop exact content duplicates, keeping the first occurrence."""
+    seen = set()
+    out: List[Triple] = []
+    for triple in triples:
+        key = triple.content_key()
+        if key not in seen:
+            seen.add(key)
+            out.append(triple)
+    return out
+
+
+class UnionExtractor(OpenIEExtractor):
+    """The union of several extractors (default: pattern + MinIE)."""
+
+    name = "union"
+
+    def __init__(self, extractors: Optional[Sequence[OpenIEExtractor]] = None):
+        self.extractors = list(extractors) if extractors else [
+            PatternExtractor(),
+            MinIEExtractor(),
+        ]
+
+    def extract_sentence(self, sentence: str, sentence_index: int = 0) -> List[Triple]:
+        triples: List[Triple] = []
+        for extractor in self.extractors:
+            triples.extend(extractor.extract_sentence(sentence, sentence_index))
+        return dedupe_triples(triples)
+
+    def extract_document(
+        self,
+        text: str,
+        title: Optional[str] = None,
+        entity_kind: Optional[str] = None,
+    ) -> List[Triple]:
+        triples: List[Triple] = []
+        for extractor in self.extractors:
+            triples.extend(
+                extractor.extract_document(text, title=title, entity_kind=entity_kind)
+            )
+        return dedupe_triples(triples)
+
+
+def extract_union(
+    text: str, title: Optional[str] = None, entity_kind: Optional[str] = None
+) -> List[Triple]:
+    """Convenience: union extraction with the default extractor pair."""
+    return UnionExtractor().extract_document(text, title=title, entity_kind=entity_kind)

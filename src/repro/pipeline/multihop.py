@@ -1,0 +1,153 @@
+"""Iterative retriever-updater document-path retrieval.
+
+Hop 1 fetches candidate documents with the single retriever; for each
+candidate the question updater selects an updater-clue triple and composes
+``q'``; hop 2 runs the single retriever with ``q'``. A path's score is the
+sum of its per-hop scores (paper Eq. 8) — the "Triple-fact Retrieval-base"
+configuration. Rescoring the resulting candidate paths with the path
+ranking model gives the full "Triple-fact Retrieval".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.oie.triple import Triple
+from repro.retriever.single import RetrievedDocument, SingleRetriever
+from repro.updater.question import compose_updated_question
+from repro.updater.updater import QuestionUpdater
+
+
+@dataclass
+class DocumentPath:
+    """One candidate reasoning path (hop-1 doc, hop-2 doc)."""
+
+    doc_ids: Tuple[int, ...]
+    titles: Tuple[str, ...]
+    score: float
+    hop_scores: Tuple[float, ...] = ()
+    clue: Optional[Triple] = None  # updater-clue used between hops
+    matched_triples: Tuple[Optional[Triple], ...] = ()
+    updated_question: Optional[str] = None
+
+    @property
+    def title_set(self) -> frozenset:
+        return frozenset(self.titles)
+
+    def explain(self) -> str:
+        """Human-readable account of the reasoning chain."""
+        lines = [f"path score {self.score:.3f}"]
+        for hop, title in enumerate(self.titles):
+            matched = (
+                self.matched_triples[hop]
+                if hop < len(self.matched_triples)
+                else None
+            )
+            lines.append(f"  hop {hop + 1}: {title} via {matched}")
+            if hop == 0 and self.clue is not None:
+                lines.append(f"  updater-clue: {self.clue}")
+        return "\n".join(lines)
+
+
+@dataclass
+class MultiHopConfig:
+    """Beam widths of the iterative retrieval."""
+
+    k_hop1: int = 8  # hop-1 candidates to expand
+    k_hop2: int = 4  # hop-2 candidates per hop-1 document
+    k_paths: int = 8  # paths returned
+    # weight of the updater-clue embedding in the hop-2 query vector.
+    # The paper appends the clue tokens to the question; with a full-size
+    # BERT, attention re-weights the novel tokens, but mean pooling would
+    # drown ~5 clue tokens in ~20 question tokens — so the clue enters the
+    # query as an explicit embedding mix: v(q') = v(q) + clue_weight*v(t').
+    clue_weight: float = 1.0
+
+
+class MultiHopRetriever:
+    """Retriever-updater iteration over a shared triple store."""
+
+    def __init__(
+        self,
+        retriever: SingleRetriever,
+        updater: QuestionUpdater,
+        config: Optional[MultiHopConfig] = None,
+    ):
+        self.retriever = retriever
+        self.updater = updater
+        self.config = config or MultiHopConfig()
+
+    def retrieve_paths(
+        self, question: str, k_paths: Optional[int] = None
+    ) -> List[DocumentPath]:
+        """Top-k document paths for ``question`` (Eq. 8 scoring)."""
+        cfg = self.config
+        k_paths = k_paths or cfg.k_paths
+        question_vec = self.retriever.encode_question(question)
+        hop1_results = self.retriever.retrieve_by_vector(
+            question_vec, k=cfg.k_hop1
+        )
+        paths: List[DocumentPath] = []
+        seen = set()
+        for hop1 in hop1_results:
+            triples = self.retriever.store.triples(hop1.doc_id)
+            selected = self.updater.select_clue(question, triples)
+            clue = selected[1] if selected else None
+            if clue is not None:
+                updated = compose_updated_question(question, clue)
+                # encode only the clue's *novel* tokens: the full flattened
+                # triple still contains the anchor entity (its subject),
+                # which would pull hop 2 straight back to hop-1-like
+                # documents; the novel part is the bridge signal.
+                question_tokens = set(
+                    t.lower() for t in question.replace("?", " ").split()
+                )
+                novel = [
+                    token
+                    for token in clue.flatten().split()
+                    if token.lower() not in question_tokens
+                ]
+                # the sharpest bridge signal is the novel *entity*: prefer
+                # capitalized novel tokens, then any novel token, then the
+                # whole clue
+                capitalized = [t for t in novel if t[:1].isupper()]
+                clue_text = " ".join(capitalized or novel) or clue.flatten()
+                clue_vec = self.retriever.encoder.encode_numpy([clue_text])[0]
+                norm_q = np.linalg.norm(question_vec) or 1.0
+                norm_c = np.linalg.norm(clue_vec) or 1.0
+                hop2_vec = (
+                    question_vec / norm_q
+                    + cfg.clue_weight * clue_vec / norm_c
+                )
+            else:
+                updated = question
+                hop2_vec = question_vec
+            hop2_results = self.retriever.retrieve_by_vector(
+                hop2_vec, k=cfg.k_hop2 + 1
+            )
+            for hop2 in hop2_results:
+                if hop2.doc_id == hop1.doc_id:
+                    continue
+                key = (hop1.doc_id, hop2.doc_id)
+                if key in seen:
+                    continue
+                seen.add(key)
+                paths.append(
+                    DocumentPath(
+                        doc_ids=(hop1.doc_id, hop2.doc_id),
+                        titles=(hop1.title, hop2.title),
+                        score=hop1.score + hop2.score,
+                        hop_scores=(hop1.score, hop2.score),
+                        clue=clue,
+                        matched_triples=(
+                            hop1.matched_triple,
+                            hop2.matched_triple,
+                        ),
+                        updated_question=updated,
+                    )
+                )
+        paths.sort(key=lambda p: (-p.score, p.doc_ids))
+        return paths[:k_paths]

@@ -1,0 +1,20 @@
+"""The reader: answer extraction from a retrieved document path.
+
+The paper scopes itself to the retriever ("This work is focused on the
+retriever problem") and delegates answer extraction to a reader model
+[3]. This subpackage supplies that second stage so the repository covers
+the full multi-hop QA task: a triple-fact reader that extracts the answer
+span from the hop-2 document's triple facts, plus comparison-question
+logic (yes/no and ordinal answers) and standard EM/F1 answer metrics.
+"""
+
+from repro.reader.reader import TripleFactReader, ReaderResult
+from repro.reader.answer_metrics import exact_match, f1_score, evaluate_answers
+
+__all__ = [
+    "TripleFactReader",
+    "ReaderResult",
+    "exact_match",
+    "f1_score",
+    "evaluate_answers",
+]

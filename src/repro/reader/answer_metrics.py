@@ -1,0 +1,57 @@
+"""Answer metrics: SQuAD/HotpotQA-style exact match and token F1."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenize import tokenize
+
+
+def _normalize_answer(text: str) -> List[str]:
+    """Lower-case, strip punctuation and articles (SQuAD normalization)."""
+    return [
+        t
+        for t in tokenize(text)
+        if t[:1].isalnum() and t not in ("a", "an", "the")
+    ]
+
+
+def exact_match(prediction: str, gold: str) -> bool:
+    """Normalized exact match."""
+    return _normalize_answer(prediction) == _normalize_answer(gold)
+
+
+def f1_score(prediction: str, gold: str) -> float:
+    """Token-overlap F1 between prediction and gold."""
+    pred_tokens = _normalize_answer(prediction)
+    gold_tokens = _normalize_answer(gold)
+    if not pred_tokens or not gold_tokens:
+        return float(pred_tokens == gold_tokens)
+    common: Dict[str, int] = {}
+    for token in pred_tokens:
+        common[token] = common.get(token, 0) + 1
+    overlap = 0
+    for token in gold_tokens:
+        if common.get(token, 0) > 0:
+            overlap += 1
+            common[token] -= 1
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(pred_tokens)
+    recall = overlap / len(gold_tokens)
+    return 2 * precision * recall / (precision + recall)
+
+
+def evaluate_answers(
+    predictions: Sequence[str], golds: Sequence[str]
+) -> Dict[str, float]:
+    """Corpus-level EM and F1."""
+    if len(predictions) != len(golds):
+        raise ValueError("predictions and golds must align")
+    if not golds:
+        return {"em": 0.0, "f1": 0.0}
+    em_total = sum(exact_match(p, g) for p, g in zip(predictions, golds))
+    f1_total = sum(f1_score(p, g) for p, g in zip(predictions, golds))
+    n = len(golds)
+    return {"em": em_total / n, "f1": f1_total / n}

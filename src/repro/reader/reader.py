@@ -1,0 +1,244 @@
+"""Triple-fact reader: extract the answer from a retrieved document path.
+
+Works directly on the structured representation the retriever produces:
+the answer to a bridge question is a constituent of some triple fact of
+the hop-2 document; comparison questions are answered by extracting the
+compared property from both documents' triples and applying the question's
+comparison logic. Rule-based by design — the paper delegates reading to
+existing models, and over triple facts extraction reduces to typed value
+selection.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.data.corpus import Corpus
+from repro.oie.triple import Triple
+from repro.retriever.store import TripleStore
+from repro.text.stem import stem
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenize import tokenize
+
+# answer types keyed by question openers / cue phrases
+YEAR = "year"
+COUNT = "count"
+PLACE = "place"
+SPAN = "span"
+YES_NO = "yes_no"
+WHICH_FIRST = "which_first"
+WHICH_LARGER = "which_larger"
+
+_YEAR_RE = re.compile(r"\b(1[0-9]{3}|20[0-9]{2})\b")
+_NUMBER_RE = re.compile(r"\b\d+\b")
+
+
+@dataclass
+class ReaderResult:
+    """One extracted answer with its provenance."""
+
+    answer: str
+    confidence: float
+    supporting_triple: Optional[Triple] = None
+    doc_title: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.answer)
+
+
+def classify_question(question: str) -> str:
+    """Map a question to its expected answer type."""
+    lowered = question.lower()
+    if lowered.startswith(("did ", "do ", "does ", "was ", "were ", "is ", "are ")):
+        if "first" in lowered or "before" in lowered:
+            return WHICH_FIRST
+        return YES_NO
+    if "which" in lowered and "first" in lowered:
+        return WHICH_FIRST
+    if "larger" in lowered or "bigger" in lowered:
+        return WHICH_LARGER
+    if lowered.startswith("when") or "what year" in lowered or "which year" in lowered:
+        return YEAR
+    if lowered.startswith("how many") or "population" in lowered:
+        return COUNT
+    if lowered.startswith("where") or "which city" in lowered or (
+        "which country" in lowered
+    ):
+        return PLACE
+    return SPAN
+
+
+def _content(text: str) -> set:
+    return {
+        stem(t) for t in tokenize(text) if t[:1].isalnum() and t not in STOPWORDS
+    }
+
+
+class TripleFactReader:
+    """Extracts answers from document paths over a triple store."""
+
+    def __init__(self, corpus: Corpus, store: TripleStore):
+        self.corpus = corpus
+        self.store = store
+
+    # -- bridge questions ----------------------------------------------------
+    def _ranked_triples(
+        self, question: str, doc_id: int, exclude_tokens: set
+    ) -> List[Tuple[Triple, float]]:
+        """Document triples ranked by question-relation overlap
+        (subject/entity tokens excluded from the question side)."""
+        question_tokens = _content(question) - exclude_tokens
+        ranked: List[Tuple[Triple, float]] = []
+        for triple in self.store.triples(doc_id):
+            triple_tokens = _content(triple.predicate + " " + triple.object)
+            overlap = len(triple_tokens & question_tokens)
+            score = overlap / (1 + len(triple_tokens))
+            ranked.append((triple, score))
+        ranked.sort(key=lambda item: -item[1])
+        return ranked
+
+    def _extract_typed(
+        self, triple: Triple, answer_type: str, question: str, subject_tokens: set
+    ) -> Optional[str]:
+        """Extract an answer of ``answer_type`` from a triple, or None."""
+        text = " ".join((triple.object,) + triple.extra_objects)
+        if answer_type == YEAR:
+            match = _YEAR_RE.search(text)
+            return match.group(0) if match else None
+        if answer_type == COUNT:
+            match = _NUMBER_RE.search(text)
+            return match.group(0) if match else None
+        if answer_type == PLACE:
+            # a capitalized span in the object that is not the subject
+            spans = re.findall(r"(?:[A-Z][\w'-]*\s?)+", text)
+            for span in spans:
+                span = span.strip()
+                if span and not (_content(span) & subject_tokens):
+                    return span
+            return None
+        # SPAN: the object minus tokens the question already contains and
+        # leading function words — must leave something behind
+        question_tokens = _content(question)
+        kept = []
+        for token in text.split():
+            lowered = token.lower().strip(",")
+            if lowered in ("a", "an", "the", "to", "in", "of", "for", "at"):
+                if not kept:
+                    continue
+            if stem(lowered) in question_tokens:
+                continue
+            kept.append(token.strip(","))
+        return " ".join(kept) if kept else None
+
+    def read_bridge(
+        self, question: str, path_titles: Sequence[str]
+    ) -> ReaderResult:
+        """Answer a bridge question from its (hop-1, hop-2) path.
+
+        Triples are tried best-overlap first; the first one yielding an
+        answer of the question's type wins — so a high-overlap triple with
+        no extractable value (e.g. the intro) never blocks the answer.
+        """
+        answer_type = classify_question(question)
+        if len(path_titles) < 2:
+            return ReaderResult(answer="", confidence=0.0)
+        hop2 = self.corpus.by_title(path_titles[1])
+        if hop2 is None:
+            return ReaderResult(answer="", confidence=0.0)
+        subject_tokens = _content(hop2.title)
+        for triple, score in self._ranked_triples(
+            question, hop2.doc_id, subject_tokens
+        ):
+            answer = self._extract_typed(
+                triple, answer_type, question, subject_tokens
+            )
+            if answer:
+                return ReaderResult(
+                    answer=answer,
+                    confidence=min(1.0, 0.4 + score),
+                    supporting_triple=triple,
+                    doc_title=hop2.title,
+                )
+        return ReaderResult(answer="", confidence=0.0)
+
+    # -- comparison questions --------------------------------------------------
+    def _property_value(
+        self, question: str, title: str, answer_type: str
+    ) -> Optional[str]:
+        document = self.corpus.by_title(title)
+        if document is None:
+            return None
+        subject_tokens = _content(title)
+        ranked = self._ranked_triples(question, document.doc_id, subject_tokens)
+        if answer_type in (WHICH_FIRST, WHICH_LARGER):
+            target = YEAR if answer_type == WHICH_FIRST else COUNT
+            for triple, _score in ranked:
+                value = self._extract_typed(triple, target, question, subject_tokens)
+                if value:
+                    return value
+            return None
+        # yes/no: the compared property as a normalized value string
+        for triple, _score in ranked:
+            for target in (YEAR, COUNT):
+                value = self._extract_typed(triple, target, question, subject_tokens)
+                if value:
+                    return value
+            value = self._extract_typed(triple, SPAN, question, subject_tokens)
+            if value:
+                return value.lower()
+        return None
+
+    def read_comparison(
+        self, question: str, path_titles: Sequence[str]
+    ) -> ReaderResult:
+        """Answer a comparison question over its two gold documents."""
+        answer_type = classify_question(question)
+        if len(path_titles) < 2:
+            return ReaderResult(answer="", confidence=0.0)
+        title_a, title_b = path_titles[0], path_titles[1]
+        value_a = self._property_value(question, title_a, answer_type)
+        value_b = self._property_value(question, title_b, answer_type)
+        if value_a is None or value_b is None:
+            return ReaderResult(answer="", confidence=0.0)
+        if answer_type == WHICH_FIRST:
+            try:
+                answer = title_a if float(value_a) <= float(value_b) else title_b
+            except ValueError:
+                return ReaderResult(answer="", confidence=0.0)
+            # "Was A formed before B?" is yes/no phrased ordinally
+            if question.lower().startswith(("was ", "were ")):
+                answer = "yes" if answer == title_a else "no"
+            return ReaderResult(answer=answer, confidence=0.6)
+        if answer_type == WHICH_LARGER:
+            try:
+                answer = title_a if float(value_a) >= float(value_b) else title_b
+            except ValueError:
+                return ReaderResult(answer="", confidence=0.0)
+            return ReaderResult(answer=answer, confidence=0.6)
+        answer = "yes" if value_a == value_b else "no"
+        return ReaderResult(answer=answer, confidence=0.5)
+
+    # -- entry point -----------------------------------------------------------
+    def read(
+        self,
+        question: str,
+        path_titles: Sequence[str],
+        qtype: Optional[str] = None,
+    ) -> ReaderResult:
+        """Extract the answer for ``question`` from a document path.
+
+        ``qtype``: "bridge" / "comparison" when known; inferred from the
+        question's answer type otherwise.
+        """
+        if qtype is None:
+            answer_type = classify_question(question)
+            qtype = (
+                "comparison"
+                if answer_type in (YES_NO, WHICH_FIRST, WHICH_LARGER)
+                else "bridge"
+            )
+        if qtype == "comparison":
+            return self.read_comparison(question, path_titles)
+        return self.read_bridge(question, path_titles)

@@ -1,0 +1,70 @@
+"""Score-calculation strategies (paper Sec. III-B and Table IV).
+
+Given the cosine scores of a question against one document's triple facts:
+
+* ``one_fact`` — Eq. 2: the maximum ("One Fact" hypothesis),
+* ``top_k`` — Eq. 6: the mean of the k best,
+* ``mean`` — Eq. 7: the mean over all (simulating full-text compression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+ONE_FACT = "one_fact"
+TOP_K = "top_k"
+MEAN = "mean"
+
+
+@dataclass(frozen=True)
+class ScoreStrategy:
+    """A named strategy with its parameter (k for top-k)."""
+
+    name: str = ONE_FACT
+    k: int = 2
+
+    def aggregate(self, scores: np.ndarray) -> float:
+        """Collapse per-triple scores into one document score."""
+        if scores.size == 0:
+            return -1.0  # cosine lower bound: a document with no triples
+        if self.name == ONE_FACT:
+            return float(scores.max())
+        if self.name == TOP_K:
+            k = min(self.k, scores.size)
+            top = np.partition(scores, -k)[-k:]
+            return float(top.mean())
+        if self.name == MEAN:
+            return float(scores.mean())
+        raise ValueError(f"unknown strategy {self.name!r}")
+
+    def matched_index(self, scores: np.ndarray) -> int:
+        """Index of the explaining triple (argmax) — the paper's
+        explainability hook; -1 when the document has no triples."""
+        if scores.size == 0:
+            return -1
+        return int(scores.argmax())
+
+
+def cosine_matrix(query_vec: np.ndarray, triple_matrix: np.ndarray,
+                  eps: float = 1e-8) -> np.ndarray:
+    """Cosine of one query vector against rows of ``triple_matrix``."""
+    if triple_matrix.size == 0:
+        return np.zeros(0)
+    q_norm = np.linalg.norm(query_vec) + eps
+    t_norms = np.linalg.norm(triple_matrix, axis=1) + eps
+    return (triple_matrix @ query_vec) / (t_norms * q_norm)
+
+
+def score_documents(
+    query_vec: np.ndarray,
+    doc_triple_matrices: Dict[int, np.ndarray],
+    strategy: ScoreStrategy,
+) -> Dict[int, float]:
+    """Score every document by its aggregated triple-fact similarity."""
+    return {
+        doc_id: strategy.aggregate(cosine_matrix(query_vec, matrix))
+        for doc_id, matrix in doc_triple_matrices.items()
+    }

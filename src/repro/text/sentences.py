@@ -1,0 +1,100 @@
+"""Sentence splitting for Wikipedia-style prose.
+
+Replaces NLTK's punkt splitter. Handles the abbreviation patterns that
+actually occur in encyclopedic text (initials, ``F.C.``, ``U.S.``, titles)
+without a trained model.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+# Abbreviations after which a period does NOT end the sentence.
+_ABBREVIATIONS = {
+    "mr",
+    "mrs",
+    "ms",
+    "dr",
+    "prof",
+    "sr",
+    "jr",
+    "st",
+    "no",
+    "vs",
+    "etc",
+    "inc",
+    "ltd",
+    "co",
+    "corp",
+    "fc",
+    "f.c",
+    "u.s",
+    "u.k",
+    "e.g",
+    "i.e",
+    "approx",
+    "dept",
+    "est",
+}
+
+_BOUNDARY_RE = re.compile(r"([.!?])(\s+)(?=[A-Z0-9\"'(])")
+
+# Titles are "strong" abbreviations: a period after them never ends the
+# sentence. Other abbreviations (F.C., U.S.) are "weak": the period ends
+# the sentence when the next word is a typical sentence starter.
+_STRONG_ABBREVIATIONS = {"mr", "mrs", "ms", "dr", "prof", "st", "no", "vs"}
+_SENTENCE_STARTERS = {
+    "He", "She", "It", "They", "The", "In", "After", "Before", "His",
+    "Her", "Its", "Their", "This", "These", "A", "An",
+}
+
+
+def _is_abbreviation(prefix: str, following: str) -> bool:
+    """True if a period after ``prefix`` does NOT end the sentence.
+
+    ``following`` is the text after the whitespace (used to disambiguate
+    weak abbreviations: "Millwall F.C. He retired." does split because
+    "He" is a typical sentence starter).
+    """
+    match = re.search(r"([A-Za-z][A-Za-z.]*)$", prefix)
+    if not match:
+        return False
+    word = match.group(1).lower().rstrip(".")
+    bare = word.rsplit(".", 1)[-1]
+    if bare in _STRONG_ABBREVIATIONS or word in _STRONG_ABBREVIATIONS:
+        return True
+    is_known = word in _ABBREVIATIONS or bare in _ABBREVIATIONS or len(bare) == 1
+    if not is_known:
+        return False
+    next_word = following.split()[0] if following.split() else ""
+    if next_word.rstrip(".,;") in _SENTENCE_STARTERS:
+        return False
+    return True
+
+
+def split_sentences(text: str) -> List[str]:
+    """Split ``text`` into sentences.
+
+    >>> split_sentences("He played for Millwall F.C. in Wales. He retired.")
+    ['He played for Millwall F.C. in Wales.', 'He retired.']
+    """
+    text = text.strip()
+    if not text:
+        return []
+    sentences: List[str] = []
+    start = 0
+    for match in _BOUNDARY_RE.finditer(text):
+        end = match.end(1)
+        if match.group(1) == "." and _is_abbreviation(
+            text[start : match.start(1)], text[match.end(0) :]
+        ):
+            continue
+        sentence = text[start:end].strip()
+        if sentence:
+            sentences.append(sentence)
+        start = match.end(0)
+    tail = text[start:].strip()
+    if tail:
+        sentences.append(tail)
+    return sentences

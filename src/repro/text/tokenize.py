@@ -1,0 +1,121 @@
+"""Word tokenization and normalization.
+
+The tokenizer is deliberately simple and deterministic: it lower-cases,
+separates punctuation, keeps numbers and hyphenated years intact, and is the
+single tokenization used by every component (BM25 index, OIE extractors and
+the neural encoder), so that lexical and semantic retrieval operate over the
+same token universe.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Set, Tuple
+
+_TOKEN_RE = re.compile(
+    r"""
+    \d+(?:\.\d+)?          # numbers, incl. decimals
+    | [A-Za-z]+(?:'[a-z]+)?  # words, incl. clitics like "it's"
+    | [^\sA-Za-z0-9]       # any single punctuation mark
+    """,
+    re.VERBOSE,
+)
+
+_APOSTROPHE_SUFFIXES = {"'s", "'re", "'ve", "'ll", "'d", "'m"}
+
+
+def normalize(text: str) -> str:
+    """Lower-case and collapse whitespace.
+
+    >>> normalize("  The   Quick  Fox ")
+    'the quick fox'
+    """
+    return " ".join(text.lower().split())
+
+
+def tokenize(text: str, lower: bool = True) -> List[str]:
+    """Split ``text`` into word / number / punctuation tokens.
+
+    >>> tokenize("Millwall F.C. was founded in 1885.")
+    ['millwall', 'f', '.', 'c', '.', 'was', 'founded', 'in', '1885', '.']
+    """
+    if lower:
+        text = text.lower()
+    tokens: List[str] = []
+    for match in _TOKEN_RE.finditer(text):
+        token = match.group(0)
+        # split clitics off: "club's" -> "club", "'s"
+        for suffix in _APOSTROPHE_SUFFIXES:
+            if token.endswith(suffix) and len(token) > len(suffix):
+                tokens.append(token[: -len(suffix)])
+                tokens.append(suffix)
+                break
+        else:
+            tokens.append(token)
+    return tokens
+
+
+def content_tokens(text: str) -> List[str]:
+    """Tokenize and keep only alphanumeric tokens (drop punctuation)."""
+    return [t for t in tokenize(text) if t[0].isalnum()]
+
+
+def word_shingles(tokens: Iterable[str], n: int = 2) -> Set[Tuple[str, ...]]:
+    """Return the set of ``n``-gram shingles over ``tokens``.
+
+    Used by the sibling-triple similarity measure and by the GoldEn-style
+    longest-common-subsequence heuristics.
+    """
+    seq = list(tokens)
+    if len(seq) < n:
+        return {tuple(seq)} if seq else set()
+    return {tuple(seq[i : i + n]) for i in range(len(seq) - n + 1)}
+
+
+def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard similarity between two token collections (as sets)."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    union = sa | sb
+    if not union:
+        return 0.0
+    return len(sa & sb) / len(union)
+
+
+def longest_common_subsequence(a: List[str], b: List[str]) -> List[str]:
+    """Token-level LCS, the primitive behind GoldEn's heuristic oracle.
+
+    Dynamic programming, O(len(a) * len(b)).
+
+    >>> longest_common_subsequence("a b c d".split(), "b x d".split())
+    ['b', 'd']
+    """
+    if not a or not b:
+        return []
+    rows = len(a) + 1
+    cols = len(b) + 1
+    table = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        ai = a[i - 1]
+        row = table[i]
+        prev = table[i - 1]
+        for j in range(1, cols):
+            if ai == b[j - 1]:
+                row[j] = prev[j - 1] + 1
+            else:
+                row[j] = prev[j] if prev[j] >= row[j - 1] else row[j - 1]
+    # backtrack
+    out: List[str] = []
+    i, j = len(a), len(b)
+    while i > 0 and j > 0:
+        if a[i - 1] == b[j - 1]:
+            out.append(a[i - 1])
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    out.reverse()
+    return out

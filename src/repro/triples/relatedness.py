@@ -1,0 +1,74 @@
+"""Noise-triple pruning via the relatedness score (paper Eq. 1).
+
+``R(t, d) = |E_t ∩ E_d| / |E_d|`` where ``E_t`` are the entities linked in
+the triple and ``E_d`` all entities linked in the document. Triples that
+link no document entity ("Local newspapers covered the story") score 0 and
+are pruned as noise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.index.entity_index import EntityIndex
+from repro.oie.triple import Triple
+from repro.text.tokenize import tokenize
+
+
+def triple_entities(triple: Triple, linker: EntityIndex) -> Set[str]:
+    """``E_t``: entities whose surface form appears in the triple."""
+    return set(linker.link(triple.flatten()))
+
+
+def relatedness(
+    triple: Triple, doc_entities: Sequence[str], linker: EntityIndex
+) -> float:
+    """Eq. 1 relatedness of ``triple`` to a document with entities ``E_d``.
+
+    Gated on the *subject* naming an entity: "the required information of
+    the related document for the question is always concerned with an
+    entity" (paper Sec. III-A) — a triple whose subject is no entity at all
+    ("A rival club established in 1902 ...", Fig. 3 items 6-9) is noise no
+    matter which entities its object happens to mention.
+    """
+    doc_set = set(doc_entities)
+    if not doc_set:
+        return 0.0
+    subject_entities = linker.link(triple.subject)
+    if not subject_entities:
+        return 0.0
+    # the subject must essentially *be* an entity mention: "Several
+    # residents born in Oakdale" contains the entity Oakdale yet is not
+    # about it — require entity tokens to cover most of the subject
+    subject_tokens = [t for t in tokenize(triple.subject) if t[:1].isalnum()]
+    entity_tokens = sum(
+        len([t for t in tokenize(name) if t[:1].isalnum()])
+        for name in subject_entities
+    )
+    if subject_tokens and entity_tokens / len(subject_tokens) < 0.5:
+        return 0.0
+    linked = triple_entities(triple, linker)
+    return len(linked & doc_set) / len(doc_set)
+
+
+def prune_noise(
+    triples: Sequence[Triple],
+    doc_entities: Sequence[str],
+    linker: EntityIndex,
+    min_relatedness: float = 1e-9,
+) -> Tuple[List[Triple], List[float]]:
+    """Drop triples whose relatedness falls below ``min_relatedness``.
+
+    Returns the surviving triples and their scores (aligned lists). When
+    *every* triple would be pruned (a pathological document with no linked
+    entities), the input is returned unpruned so the set stays complete.
+    """
+    scored = [
+        (triple, relatedness(triple, doc_entities, linker)) for triple in triples
+    ]
+    kept = [(t, s) for t, s in scored if s >= min_relatedness]
+    if not kept:
+        kept = scored
+    survivors = [t for t, _ in kept]
+    scores = [s for _, s in kept]
+    return survivors, scores

@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, cmd_demo, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["build", "--out", "x"],
+            ["query", "--model", "m", "question?"],
+            ["eval", "--model", "m"],
+            ["demo", "some text"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build", "--out", "x"])
+        assert args.persons == 70 and args.dim == 96
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        exit_code = main(
+            ["demo", "Walter Davis was a footballer. He played for Millwall."]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "union extraction" in out
+        assert "constructed T_d" in out
+        assert "Walter Davis" in out

@@ -1,0 +1,46 @@
+"""Unit tests for the Corpus container."""
+
+import pytest
+
+from repro.data.corpus import Corpus, Document
+from repro.data.world import Entity
+
+
+def _doc(doc_id, title, links=()):
+    return Document(
+        doc_id=doc_id,
+        title=title,
+        text=f"{title} is a thing.",
+        entity=Entity(uid=doc_id, name=title, kind="city"),
+        links=list(links),
+    )
+
+
+class TestCorpus:
+    def test_len_iter_getitem(self):
+        corpus = Corpus([_doc(0, "A"), _doc(1, "B")])
+        assert len(corpus) == 2
+        assert [d.title for d in corpus] == ["A", "B"]
+        assert corpus[1].title == "B"
+
+    def test_by_title(self):
+        corpus = Corpus([_doc(0, "A")])
+        assert corpus.by_title("A").doc_id == 0
+        assert corpus.by_title("Z") is None
+
+    def test_duplicate_titles_rejected(self):
+        with pytest.raises(ValueError):
+            Corpus([_doc(0, "A"), _doc(1, "A")])
+
+    def test_neighbours(self):
+        corpus = Corpus([_doc(0, "A", links=["B"]), _doc(1, "B")])
+        neighbours = corpus.neighbours(corpus[0])
+        assert [d.title for d in neighbours] == ["B"]
+
+    def test_neighbours_missing_link_skipped(self):
+        corpus = Corpus([_doc(0, "A", links=["Ghost"])])
+        assert corpus.neighbours(corpus[0]) == []
+
+    def test_titles_order(self):
+        corpus = Corpus([_doc(0, "A"), _doc(1, "B")])
+        assert corpus.titles() == ["A", "B"]

@@ -1,0 +1,53 @@
+"""Unit tests for the entity linker / entity index."""
+
+from repro.index.entity_index import EntityIndex
+
+
+class TestEntityLinking:
+    def test_simple_mention(self):
+        linker = EntityIndex(["Millwall Athletic", "Walter Davis"])
+        found = linker.link("Walter Davis played for Millwall Athletic.")
+        assert set(found) == {"Walter Davis", "Millwall Athletic"}
+
+    def test_longest_match_wins(self):
+        linker = EntityIndex(["Millwall", "Millwall Athletic"])
+        found = linker.link("He joined Millwall Athletic in 1900.")
+        assert found == ["Millwall Athletic"]
+
+    def test_case_insensitive(self):
+        linker = EntityIndex(["Millwall Athletic"])
+        assert linker.link("MILLWALL ATHLETIC won") == ["Millwall Athletic"]
+
+    def test_no_duplicates(self):
+        linker = EntityIndex(["Millwall"])
+        found = linker.link("Millwall beat Millwall reserves")
+        assert found == ["Millwall"]
+
+    def test_no_match(self):
+        linker = EntityIndex(["Millwall"])
+        assert linker.link("nothing to see here") == []
+
+
+class TestEntityPostings:
+    def test_document_registration(self):
+        linker = EntityIndex(["Alpha", "Beta"])
+        linker.add_document(0, "Alpha met Beta")
+        linker.add_document(1, "only Alpha here")
+        assert linker.entities_of(0) == ["Alpha", "Beta"]
+        assert linker.documents_with("Alpha") == [0, 1]
+        assert linker.documents_with("Beta") == [0]
+
+    def test_unknown_document(self):
+        linker = EntityIndex(["Alpha"])
+        assert linker.entities_of(99) == []
+
+    def test_contains_and_len(self):
+        linker = EntityIndex(["Alpha", "Beta"])
+        assert "Alpha" in linker and "Gamma" not in linker
+        assert len(linker) == 2
+
+    def test_corpus_entities(self, corpus, world):
+        linker = EntityIndex(corpus.titles())
+        doc = next(d for d in corpus if d.entity.kind == "person")
+        entities = linker.add_document(doc.doc_id, doc.text)
+        assert doc.title in entities

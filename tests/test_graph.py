@@ -1,0 +1,98 @@
+"""Unit tests for the triple-fact knowledge graph."""
+
+import pytest
+
+from repro.graph.builder import build_triple_graph
+from repro.graph.retrieval import GraphAssistedReranker, graph_expand_candidates
+from repro.index.entity_index import EntityIndex
+from repro.pipeline.multihop import DocumentPath
+
+
+@pytest.fixture(scope="module")
+def graph(corpus, store):
+    linker = EntityIndex(corpus.titles())
+    return build_triple_graph(corpus, store, linker=linker)
+
+
+class TestGraphConstruction:
+    def test_nonempty(self, graph):
+        assert graph.n_nodes > 0 and graph.n_edges > 0
+
+    def test_titles_are_nodes(self, graph, corpus, world):
+        # most person documents connect their title to another entity
+        persons = [d for d in corpus if d.entity.kind == "person"]
+        in_graph = sum(1 for d in persons if d.title in graph.graph)
+        assert in_graph >= len(persons) * 0.7
+
+    def test_bridge_edges_exist(self, graph, world, corpus):
+        # a person playing for a club must be connected to it
+        fact = world.facts_with_relation("plays_for")[0]
+        person, club = fact.subject.name, fact.value_entity.name
+        if person in graph.graph and club in graph.graph:
+            assert graph.edges_between(person, club)
+
+    def test_neighbours_symmetric(self, graph):
+        node = next(iter(graph.graph.nodes))
+        for neighbour in graph.neighbours(node):
+            assert node in graph.neighbours(neighbour)
+
+    def test_documents_of(self, graph, corpus):
+        document = next(d for d in corpus if d.entity.kind == "person")
+        if document.title in graph.graph:
+            assert document.doc_id in graph.documents_of(document.title)
+
+    def test_unknown_entity(self, graph):
+        assert graph.neighbours("No Such Entity") == []
+        assert graph.entity_paths("No Such Entity", "Other") == []
+
+
+class TestGraphRetrieval:
+    def test_expand_candidates_excludes_self(self, graph, corpus):
+        doc = next(d for d in corpus if d.entity.kind == "person")
+        candidates = graph_expand_candidates(graph, doc.doc_id)
+        assert doc.doc_id not in candidates
+
+    def test_expand_reaches_gold_hop2(self, graph, corpus, hotpot):
+        reached = 0
+        bridges = [q for q in hotpot.all_questions if q.is_bridge][:20]
+        for question in bridges:
+            hop1 = corpus.by_title(question.gold_titles[0])
+            hop2 = corpus.by_title(question.gold_titles[1])
+            if hop2.doc_id in graph_expand_candidates(
+                graph, hop1.doc_id, max_candidates=100
+            ):
+                reached += 1
+        assert reached >= len(bridges) * 0.6
+
+    def test_reranker_boosts_connected(self, graph, corpus, hotpot):
+        question = next(q for q in hotpot.all_questions if q.is_bridge)
+        hop1 = corpus.by_title(question.gold_titles[0])
+        hop2 = corpus.by_title(question.gold_titles[1])
+        connected = DocumentPath(
+            doc_ids=(hop1.doc_id, hop2.doc_id),
+            titles=(hop1.title, hop2.title),
+            score=1.0,
+        )
+        unrelated = corpus[
+            next(
+                d.doc_id
+                for d in corpus
+                if d.title not in question.gold_titles
+                and not graph.docs_connected(hop1.doc_id, d.doc_id)
+            )
+        ]
+        disconnected = DocumentPath(
+            doc_ids=(hop1.doc_id, unrelated.doc_id),
+            titles=(hop1.title, unrelated.title),
+            score=1.1,
+        )
+        reranker = GraphAssistedReranker(graph, bonus=0.25)
+        reranked = reranker.rerank([disconnected, connected])
+        assert reranked[0].titles == connected.titles
+
+    def test_reranker_k_limit(self, graph):
+        paths = [
+            DocumentPath(doc_ids=(0, 1), titles=("a", "b"), score=1.0),
+            DocumentPath(doc_ids=(0, 2), titles=("a", "c"), score=0.5),
+        ]
+        assert len(GraphAssistedReranker(graph).rerank(paths, k=1)) == 1

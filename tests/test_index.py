@@ -1,0 +1,128 @@
+"""Unit tests for the inverted index, analyzer, BM25 and TF-IDF."""
+
+import pytest
+
+from repro.index.analyzer import Analyzer
+from repro.index.bm25 import BM25Scorer
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import Field
+from repro.index.tfidf import TfidfScorer
+
+DOCS = {
+    0: "the football club was founded in 1885",
+    1: "the band was formed in 1991 in Boston",
+    2: "the city lies on the river and has a large port",
+    3: "the football club plays its home games in the city",
+}
+
+
+def _index(scorer=None):
+    index = InvertedIndex(scorer=scorer)
+    for doc_id, text in DOCS.items():
+        index.add_document(doc_id, {"text": text})
+    return index
+
+
+class TestAnalyzer:
+    def test_stems_and_drops_stopwords(self):
+        analyzer = Analyzer()
+        terms = analyzer.analyze("The clubs were founded.")
+        assert "club" in terms
+        assert "the" not in terms and "." not in terms
+
+    def test_no_stemming_option(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert "clubs" in analyzer.analyze("the clubs")
+
+    def test_keep_stopwords_option(self):
+        analyzer = Analyzer(remove_stopwords=False)
+        assert "the" in analyzer.analyze("the clubs")
+
+
+class TestField:
+    def test_statistics(self):
+        field = Field("text")
+        field.add(0, ["a", "b", "a"])
+        field.add(1, ["b"])
+        assert field.doc_count == 2
+        assert field.doc_length(0) == 3
+        assert field.average_length == 2.0
+        assert field.doc_freq("a") == 1
+        assert field.doc_freq("b") == 2
+        assert field.postings("a")[0].term_freq == 2
+
+    def test_double_add_rejected(self):
+        field = Field("text")
+        field.add(0, ["a"])
+        with pytest.raises(ValueError):
+            field.add(0, ["b"])
+
+    def test_unknown_term(self):
+        field = Field("text")
+        assert field.postings("zzz") == []
+        assert field.doc_freq("zzz") == 0
+
+
+class TestBM25:
+    def test_exact_match_ranks_first(self):
+        index = _index()
+        hits = index.search("when was the football club founded", k=4)
+        assert hits[0].doc_id == 0
+
+    def test_scores_positive_and_sorted(self):
+        index = _index()
+        hits = index.search("football club", k=4)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s > 0 for s in scores)
+
+    def test_idf_zero_for_unseen(self):
+        scorer = BM25Scorer()
+        field = Field("text")
+        field.add(0, ["a"])
+        assert scorer.idf(field, "zzz") == 0.0
+
+    def test_rare_terms_weighted_higher(self):
+        scorer = BM25Scorer()
+        field = Field("text")
+        field.add(0, ["rare", "common"])
+        field.add(1, ["common"])
+        field.add(2, ["common"])
+        assert scorer.idf(field, "rare") > scorer.idf(field, "common")
+
+    def test_exclude(self):
+        index = _index()
+        hits = index.search("football club", k=4, exclude=[0])
+        assert all(h.doc_id != 0 for h in hits)
+
+
+class TestTfidf:
+    def test_cosine_in_unit_range(self):
+        index = _index(scorer=TfidfScorer())
+        hits = index.search("football club founded", k=4)
+        assert all(0.0 <= h.score <= 1.0 + 1e-9 for h in hits)
+
+    def test_relevant_doc_first(self):
+        index = _index(scorer=TfidfScorer())
+        hits = index.search("band formed 1991", k=4)
+        assert hits[0].doc_id == 1
+
+
+class TestInvertedIndex:
+    def test_multi_field(self):
+        index = InvertedIndex()
+        index.add_document(0, {"text": "alpha beta", "triples": "alpha gamma"})
+        assert index.search("gamma", field="triples")[0].doc_id == 0
+        assert index.search("gamma", field="text") == []
+
+    def test_unknown_field_raises(self):
+        index = _index()
+        with pytest.raises(KeyError):
+            index.search("x", field="nope")
+
+    def test_doc_count(self):
+        assert _index().doc_count == len(DOCS)
+
+    def test_k_limits_results(self):
+        index = _index()
+        assert len(index.search("the club city football", k=2)) == 2

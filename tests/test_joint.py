@@ -1,0 +1,66 @@
+"""Tests for joint end-to-end retriever+updater training."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.joint import JointConfig, JointExample, JointTrainer
+from repro.updater.updater import QuestionUpdater, UpdaterConfig
+
+
+@pytest.fixture(scope="module")
+def joint(retriever, encoder):
+    updater = QuestionUpdater(encoder, UpdaterConfig(epochs=1))
+    return JointTrainer(
+        retriever, updater, JointConfig(epochs=1, lr=1e-4)
+    )
+
+
+class TestJointExamples:
+    def test_bridge_examples_have_hop2_supervision(self, joint, hotpot, corpus):
+        examples = joint.build_examples(hotpot.train[:30], corpus)
+        assert examples
+        bridge_entries = [e for e in examples if e.hop2_doc_id is not None]
+        assert bridge_entries
+        for entry in bridge_entries:
+            assert entry.clue_text
+
+    def test_clue_text_contains_bridge_tokens(self, joint, hotpot, corpus):
+        by_qid = {q.qid: q for q in hotpot.train}
+        examples = joint.build_examples(hotpot.train[:30], corpus)
+        checked = 0
+        for entry in examples:
+            if entry.hop2_doc_id is None:
+                continue
+            question = by_qid[entry.base.qid]
+            hop2_tokens = set(question.gold_titles[1].lower().split())
+            clue_tokens = set(entry.clue_text.lower().split())
+            if hop2_tokens & clue_tokens:
+                checked += 1
+        assert checked > 0
+
+    def test_comparison_examples_have_no_hop2(self, joint, hotpot, corpus):
+        by_qid = {q.qid: q for q in hotpot.train}
+        examples = joint.build_examples(hotpot.train, corpus)
+        for entry in examples:
+            question = by_qid.get(entry.base.qid)
+            if question is not None and not question.is_bridge:
+                assert entry.hop2_doc_id is None
+
+
+class TestJointTraining:
+    def test_one_epoch_runs(self, joint, hotpot, corpus):
+        examples = joint.build_examples(hotpot.train[:10], corpus)
+        losses = joint.train(examples)
+        assert len(losses) == 1
+        assert np.isfinite(losses[0]) and losses[0] > 0
+
+    def test_embeddings_refreshed(self, joint, hotpot, corpus):
+        examples = joint.build_examples(hotpot.train[:5], corpus)
+        joint.train(examples)
+        # retrieval still functional after the joint pass
+        results = joint.retriever.retrieve("when was the club founded", k=3)
+        assert len(results) == 3
+
+    def test_refresh_updater(self, joint, hotpot, corpus):
+        losses = joint.refresh_updater(hotpot.train[:20], corpus)
+        assert losses and all(np.isfinite(l) for l in losses)

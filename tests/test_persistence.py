@@ -1,0 +1,83 @@
+"""Round-trip tests for triple-store and full-system persistence."""
+
+import numpy as np
+import pytest
+
+from repro.encoder.minibert import EncoderConfig
+from repro.pipeline.framework import FrameworkConfig, TripleFactRetrieval
+from repro.pipeline.multihop import MultiHopConfig
+from repro.pipeline.path_ranker import PathRankerConfig
+from repro.retriever.store import TripleStore
+from repro.retriever.trainer import TrainerConfig
+from repro.updater.updater import UpdaterConfig
+
+
+class TestStorePersistence:
+    def test_roundtrip(self, store, corpus, tmp_path):
+        path = tmp_path / "store.json"
+        store.save(path)
+        loaded = TripleStore.load(path, corpus)
+        assert len(loaded) == len(store)
+        for doc_id in store.doc_ids():
+            original = [t.flatten() for t in store.triples(doc_id)]
+            restored = [t.flatten() for t in loaded.triples(doc_id)]
+            assert original == restored
+
+    def test_fusion_triples_survive(self, store, corpus, tmp_path):
+        path = tmp_path / "store.json"
+        store.save(path)
+        loaded = TripleStore.load(path, corpus)
+        fusions = [
+            t
+            for doc_id in loaded.doc_ids()
+            for t in loaded.triples(doc_id)
+            if t.is_fusion
+        ]
+        original_fusions = [
+            t
+            for doc_id in store.doc_ids()
+            for t in store.triples(doc_id)
+            if t.is_fusion
+        ]
+        assert len(fusions) == len(original_fusions)
+
+
+class TestSystemPersistence:
+    @pytest.fixture(scope="class")
+    def trained(self, corpus, hotpot):
+        config = FrameworkConfig(
+            encoder=EncoderConfig(dim=20, n_layers=1, n_heads=2, max_len=28),
+            retriever=TrainerConfig(epochs=1, lr=2e-4),
+            updater=UpdaterConfig(epochs=1),
+            ranker=PathRankerConfig(epochs=1),
+            multihop=MultiHopConfig(k_hop1=3, k_hop2=2, k_paths=4),
+            max_train_questions=15,
+            max_ranker_questions=6,
+        )
+        return TripleFactRetrieval(config).fit(corpus, hotpot), config
+
+    def test_save_load_same_retrieval(self, trained, corpus, hotpot, tmp_path):
+        system, config = trained
+        system.save(tmp_path / "model")
+        restored = TripleFactRetrieval.load(
+            tmp_path / "model", corpus, config=config
+        )
+        question = hotpot.test[0].text
+        original = [r.doc_id for r in system.retrieve_documents(question, k=5)]
+        loaded = [r.doc_id for r in restored.retrieve_documents(question, k=5)]
+        assert original == loaded
+
+    def test_save_load_same_paths(self, trained, corpus, hotpot, tmp_path):
+        system, config = trained
+        system.save(tmp_path / "model2")
+        restored = TripleFactRetrieval.load(
+            tmp_path / "model2", corpus, config=config
+        )
+        question = hotpot.test[1].text
+        original = [p.doc_ids for p in system.retrieve_paths(question, k=4)]
+        loaded = [p.doc_ids for p in restored.retrieve_paths(question, k=4)]
+        assert original == loaded
+
+    def test_unfit_save_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            TripleFactRetrieval().save(tmp_path / "nope")

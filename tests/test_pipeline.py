@@ -1,0 +1,101 @@
+"""Unit tests for the multi-hop pipeline and path ranker."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.multihop import DocumentPath, MultiHopConfig, MultiHopRetriever
+from repro.pipeline.path_ranker import PathRanker, PathRankerConfig, PathRankerTrainer
+from repro.updater.updater import QuestionUpdater
+
+
+@pytest.fixture(scope="module")
+def multihop(retriever, encoder):
+    updater = QuestionUpdater(encoder)
+    return MultiHopRetriever(
+        retriever, updater, MultiHopConfig(k_hop1=4, k_hop2=3, k_paths=6)
+    )
+
+
+class TestMultiHop:
+    def test_paths_returned(self, multihop, hotpot):
+        paths = multihop.retrieve_paths(hotpot.test[0].text)
+        assert paths
+        assert all(len(p.doc_ids) == 2 for p in paths)
+
+    def test_no_self_loops(self, multihop, hotpot):
+        for question in hotpot.test[:5]:
+            for path in multihop.retrieve_paths(question.text):
+                assert path.doc_ids[0] != path.doc_ids[1]
+
+    def test_paths_unique(self, multihop, hotpot):
+        paths = multihop.retrieve_paths(hotpot.test[0].text)
+        keys = [p.doc_ids for p in paths]
+        assert len(keys) == len(set(keys))
+
+    def test_scores_sorted(self, multihop, hotpot):
+        paths = multihop.retrieve_paths(hotpot.test[0].text)
+        scores = [p.score for p in paths]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_eq8_additive_score(self, multihop, hotpot):
+        for path in multihop.retrieve_paths(hotpot.test[0].text):
+            assert path.score == pytest.approx(sum(path.hop_scores))
+
+    def test_k_paths_limit(self, multihop, hotpot):
+        paths = multihop.retrieve_paths(hotpot.test[0].text, k_paths=3)
+        assert len(paths) <= 3
+
+    def test_explain_mentions_hops(self, multihop, hotpot):
+        path = multihop.retrieve_paths(hotpot.test[0].text)[0]
+        text = path.explain()
+        assert "hop 1" in text and "hop 2" in text
+
+    def test_updated_question_recorded(self, multihop, hotpot):
+        paths = multihop.retrieve_paths(hotpot.test[0].text)
+        assert any(p.updated_question for p in paths)
+
+
+class TestPathRanker:
+    def test_score_paths_shape(self, retriever, multihop, hotpot):
+        ranker = PathRanker(retriever)
+        paths = multihop.retrieve_paths(hotpot.test[0].text)
+        scores = ranker.score_paths(hotpot.test[0].text, paths)
+        assert scores.shape == (len(paths),)
+
+    def test_rerank_preserves_set(self, retriever, multihop, hotpot):
+        ranker = PathRanker(retriever)
+        paths = multihop.retrieve_paths(hotpot.test[0].text)
+        reranked = ranker.rerank(hotpot.test[0].text, paths)
+        assert {p.doc_ids for p in reranked} == {p.doc_ids for p in paths}
+
+    def test_rerank_k_limit(self, retriever, multihop, hotpot):
+        ranker = PathRanker(retriever)
+        paths = multihop.retrieve_paths(hotpot.test[0].text)
+        assert len(ranker.rerank(hotpot.test[0].text, paths, k=2)) == 2
+
+    def test_rerank_empty(self, retriever):
+        ranker = PathRanker(retriever)
+        assert ranker.rerank("q", []) == []
+
+    def test_build_examples_injects_gold(self, retriever, multihop, hotpot, corpus):
+        ranker = PathRanker(retriever)
+        trainer = PathRankerTrainer(ranker)
+        examples = trainer.build_examples(
+            hotpot.train[:8], corpus, multihop, max_candidates=4
+        )
+        assert examples
+        for question_text, paths, gold in examples:
+            gold_path = paths[gold]
+            question = next(
+                q for q in hotpot.train if q.text == question_text
+            )
+            assert gold_path.title_set == frozenset(question.gold_titles)
+
+    def test_training_reduces_loss(self, retriever, multihop, hotpot, corpus):
+        ranker = PathRanker(retriever, PathRankerConfig(epochs=3, lr=5e-3))
+        trainer = PathRankerTrainer(ranker)
+        examples = trainer.build_examples(
+            hotpot.train[:10], corpus, multihop, max_candidates=4
+        )
+        losses = trainer.train(examples)
+        assert losses[-1] < losses[0]

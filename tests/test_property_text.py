@@ -1,0 +1,110 @@
+"""Property-based tests for the text layer (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.sentences import split_sentences
+from repro.text.stem import stem
+from repro.text.tokenize import (
+    jaccard,
+    longest_common_subsequence,
+    tokenize,
+    word_shingles,
+)
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+token_lists = st.lists(words, max_size=15)
+texts = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,!?'-", max_size=200
+)
+
+
+class TestTokenizeProperties:
+    @given(texts)
+    def test_tokenize_never_crashes_and_lowercases(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+
+    @given(texts)
+    def test_tokens_contain_no_whitespace(self, text):
+        for token in tokenize(text):
+            assert " " not in token and token != ""
+
+    @given(token_lists)
+    def test_tokenize_roundtrip_preserves_words(self, tokens):
+        text = " ".join(tokens)
+        assert tokenize(text) == tokens
+
+
+class TestStemProperties:
+    @given(words)
+    def test_stem_never_longer(self, word):
+        stemmed = stem(word)
+        assert len(stemmed) <= len(word) + 1  # +1 for the -e restore
+
+    @given(words)
+    def test_stem_deterministic(self, word):
+        assert stem(word) == stem(word)
+
+    @given(words)
+    def test_stem_nonempty(self, word):
+        assert stem(word)
+
+
+class TestSentenceProperties:
+    @given(texts)
+    def test_split_never_crashes(self, text):
+        sentences = split_sentences(text)
+        assert isinstance(sentences, list)
+
+    @given(texts)
+    def test_no_empty_sentences(self, text):
+        assert all(s.strip() for s in split_sentences(text))
+
+    @given(st.lists(words, min_size=1, max_size=5))
+    def test_content_preserved(self, tokens):
+        text = " ".join(tokens).capitalize() + "."
+        joined = " ".join(split_sentences(text))
+        for token in tokens:
+            assert token in joined.lower()
+
+
+class TestSimilarityProperties:
+    @given(token_lists, token_lists)
+    def test_jaccard_symmetric(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(token_lists)
+    def test_jaccard_self_is_one(self, a):
+        assert jaccard(a, a) == 1.0
+
+    @given(token_lists, token_lists)
+    def test_jaccard_bounded(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(token_lists, token_lists)
+    def test_lcs_length_bounded(self, a, b):
+        lcs = longest_common_subsequence(a, b)
+        assert len(lcs) <= min(len(a), len(b))
+
+    @given(token_lists)
+    def test_lcs_with_self_is_identity(self, a):
+        assert longest_common_subsequence(a, a) == a
+
+    @given(token_lists, token_lists)
+    def test_lcs_is_subsequence_of_both(self, a, b):
+        lcs = longest_common_subsequence(a, b)
+
+        def is_subsequence(sub, seq):
+            it = iter(seq)
+            return all(x in it for x in sub)
+
+        assert is_subsequence(lcs, a) and is_subsequence(lcs, b)
+
+    @given(token_lists, st.integers(min_value=1, max_value=4))
+    def test_shingles_size(self, tokens, n):
+        shingles = word_shingles(tokens, n=n)
+        if len(tokens) >= n:
+            assert len(shingles) <= len(tokens) - n + 1

@@ -1,0 +1,36 @@
+"""Unit tests for the sentence splitter."""
+
+from repro.text.sentences import split_sentences
+
+
+class TestSplitSentences:
+    def test_two_sentences(self):
+        out = split_sentences("He played for Millwall. He retired in 1920.")
+        assert out == ["He played for Millwall.", "He retired in 1920."]
+
+    def test_abbreviation_not_split(self):
+        out = split_sentences("He played for Millwall F.C. He retired.")
+        assert len(out) == 2
+        assert out[0].endswith("F.C.")
+
+    def test_initials_not_split(self):
+        out = split_sentences("Walter O. Davis played there. He scored.")
+        assert len(out) == 2
+
+    def test_question_and_exclamation(self):
+        out = split_sentences("Really? Yes! It is true.")
+        assert out == ["Really?", "Yes!", "It is true."]
+
+    def test_empty(self):
+        assert split_sentences("") == []
+
+    def test_whitespace_only(self):
+        assert split_sentences("   \n ") == []
+
+    def test_no_terminal_punctuation(self):
+        assert split_sentences("no punctuation here") == ["no punctuation here"]
+
+    def test_numbers_not_split(self):
+        out = split_sentences("It cost 3.50 dollars. He paid.")
+        assert len(out) == 2
+        assert "3.50" in out[0]

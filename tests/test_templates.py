@@ -1,0 +1,83 @@
+"""Consistency tests for template tables and example scripts."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.data import templates as T
+from repro.data.hotpot import CHAIN_PAIRS, COMPARISON_RELATIONS
+from repro.data.world import RELATION_SCHEMA
+
+
+class TestTemplateConsistency:
+    def test_every_relation_has_sentence_templates(self):
+        for relation in RELATION_SCHEMA:
+            assert relation in T.SENTENCE_TEMPLATES, relation
+            assert T.SENTENCE_TEMPLATES[relation], relation
+
+    def test_sentence_templates_have_placeholders(self):
+        for relation, variants in T.SENTENCE_TEMPLATES.items():
+            for template in variants:
+                assert "{o}" in template, (relation, template)
+                assert "{pron}" in template or "{s}" in template
+
+    def test_chain_pairs_schema_compatible(self):
+        for r1, r2 in CHAIN_PAIRS:
+            _, bridge_kind = RELATION_SCHEMA[r1]
+            subject_kind, _ = RELATION_SCHEMA[r2]
+            assert bridge_kind == subject_kind, (r1, r2)
+
+    def test_chain_pairs_have_templates(self):
+        for r1, r2 in CHAIN_PAIRS:
+            assert r1 in T.BRIDGE_DESC_TEMPLATES, r1
+            assert r2 in T.BRIDGE_QUESTION_TEMPLATES, r2
+
+    def test_bridge_templates_have_desc_placeholder(self):
+        for relation, variants in T.BRIDGE_QUESTION_TEMPLATES.items():
+            for template in variants:
+                assert "{desc}" in template, (relation, template)
+
+    def test_comparison_relations_have_templates(self):
+        for kind, relations in COMPARISON_RELATIONS.items():
+            for relation in relations:
+                assert relation in T.COMPARISON_QUESTION_TEMPLATES, relation
+
+    def test_comparison_templates_have_both_names(self):
+        for relation, variants in T.COMPARISON_QUESTION_TEMPLATES.items():
+            for template in variants:
+                assert "{a}" in template and "{b}" in template
+
+    def test_occupation_synonyms_differ_from_canonical(self):
+        for canonical, synonym in T.OCCUPATION_SYNONYMS.items():
+            assert canonical != synonym
+            # synonyms must not leak the canonical token
+            assert canonical not in synonym.split()
+
+    def test_distractor_templates_have_noise_slots(self):
+        for template in T.DISTRACTOR_TEMPLATES:
+            assert "{year}" in template or "{city}" in template
+
+    def test_intro_templates_cover_all_kinds(self):
+        from repro.data.world import ENTITY_KINDS
+
+        for kind in ENTITY_KINDS:
+            assert kind in T.INTRO_TEMPLATES
+            assert kind in T.KIND_PRONOUNS
+
+
+class TestExamplesCompile:
+    """Every example script must at least parse and import-compile."""
+
+    EXAMPLES = sorted(
+        (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+    )
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+    )
+    def test_example_compiles(self, path):
+        source = path.read_text()
+        compile(source, str(path), "exec")
+        assert 'if __name__ == "__main__":' in source
+        assert "def main()" in source

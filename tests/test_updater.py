@@ -1,0 +1,129 @@
+"""Unit tests for the question updater: golden supervision, question
+composition and the learned clue selector."""
+
+import numpy as np
+import pytest
+
+from repro.oie.triple import Triple
+from repro.updater.golden import (
+    golden_expansion_terms,
+    ground_clue_index,
+    ground_updated_question,
+)
+from repro.updater.question import compose_updated_question
+from repro.updater.updater import QuestionUpdater, UpdaterConfig, UpdaterTrainer
+
+
+class TestComposeUpdatedQuestion:
+    def test_appends_novel_tokens(self):
+        clue = Triple("Davis", "played for", "Millwall")
+        out = compose_updated_question("Which club did Davis play for?", clue)
+        assert "Millwall" in out
+        assert out.startswith("Which club did Davis play for?")
+
+    def test_deduplicates(self):
+        clue = Triple("Davis", "played for", "Millwall")
+        question = "When was Millwall founded? Davis played"
+        out = compose_updated_question(question, clue)
+        assert out.count("Millwall") == 1
+
+    def test_all_duplicate_returns_question(self):
+        clue = Triple("Davis", "played", "club")
+        question = "davis played club"
+        assert compose_updated_question(question, clue) == question
+
+
+class TestGoldenSupervision:
+    def test_ground_clue_prefers_bridge_title(self, corpus, store, hotpot):
+        question = next(q for q in hotpot.train if q.is_bridge)
+        hop1 = corpus.by_title(question.gold_titles[0])
+        hop2 = corpus.by_title(question.gold_titles[1])
+        triples = store.triples(hop1.doc_id)
+        index = ground_clue_index(triples, hop2)
+        assert index is not None
+        assert hop2.title.split()[0].lower() in triples[index].flatten().lower()
+
+    def test_ground_clue_empty_triples(self, corpus):
+        assert ground_clue_index([], corpus[0]) is None
+
+    def test_ground_updated_question_contains_bridge(self, corpus, store, hotpot):
+        question = next(q for q in hotpot.train if q.is_bridge)
+        hop1 = corpus.by_title(question.gold_titles[0])
+        hop2 = corpus.by_title(question.gold_titles[1])
+        updated = ground_updated_question(
+            question.text, store.triples(hop1.doc_id), hop2
+        )
+        assert updated is not None
+        # at least part of the bridge entity name enters the new question
+        assert any(
+            token in updated for token in question.gold_titles[1].split()
+        )
+
+    def test_expansion_terms_novel_only(self):
+        terms = golden_expansion_terms(
+            "who is Walter Davis", ["Walter Davis", "Millwall Athletic"]
+        )
+        assert terms == ["Millwall Athletic"]
+
+    def test_expansion_terms_empty(self):
+        assert golden_expansion_terms("question", []) == []
+
+
+class TestQuestionUpdater:
+    def test_score_shape(self, encoder, store):
+        updater = QuestionUpdater(encoder)
+        triples = store.triples(store.doc_ids()[0])
+        scores = updater.score_triples("some question", triples)
+        assert scores.shape == (len(triples),)
+
+    def test_select_clue(self, encoder, store):
+        updater = QuestionUpdater(encoder)
+        triples = store.triples(store.doc_ids()[0])
+        index, clue = updater.select_clue("some question", triples)
+        assert triples[index] is clue
+
+    def test_select_clue_empty(self, encoder):
+        updater = QuestionUpdater(encoder)
+        assert updater.select_clue("q", []) is None
+
+    def test_update_question_returns_new_text(self, encoder, store):
+        updater = QuestionUpdater(encoder)
+        triples = store.triples(store.doc_ids()[0])
+        out = updater.update_question("completely unrelated words", triples)
+        assert len(out) > len("completely unrelated words")
+
+    def test_update_question_no_triples(self, encoder):
+        updater = QuestionUpdater(encoder)
+        assert updater.update_question("q", []) == "q"
+
+
+class TestUpdaterTraining:
+    def test_build_examples_bridge_only(self, encoder, hotpot, corpus, store):
+        updater = QuestionUpdater(encoder)
+        trainer = UpdaterTrainer(updater)
+        examples = trainer.build_examples(hotpot.train[:30], corpus, store)
+        assert examples
+        for _question, triples, gold in examples:
+            assert 0 <= gold < len(triples)
+
+    def test_training_reduces_loss(self, encoder, hotpot, corpus, store):
+        updater = QuestionUpdater(
+            encoder, UpdaterConfig(epochs=3, lr=5e-3)
+        )
+        trainer = UpdaterTrainer(updater)
+        examples = trainer.build_examples(hotpot.train[:15], corpus, store)
+        losses = trainer.train(examples)
+        assert losses[-1] < losses[0]
+
+    def test_trained_selector_beats_chance(self, encoder, hotpot, corpus, store):
+        updater = QuestionUpdater(encoder, UpdaterConfig(epochs=4, lr=5e-3))
+        trainer = UpdaterTrainer(updater)
+        examples = trainer.build_examples(hotpot.train[:40], corpus, store)
+        trainer.train(examples)
+        hits = 0
+        chance = 0.0
+        for question, triples, gold in examples:
+            scores = updater.score_triples(question, triples)
+            hits += int(scores.argmax()) == gold
+            chance += 1.0 / len(triples)
+        assert hits >= chance  # at least random-selection accuracy
