@@ -20,6 +20,7 @@ from repro.encoder.minibert import EncoderConfig, MiniBertEncoder
 from repro.nn.losses import cosine_similarity
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
+from repro.perf import COUNTERS, time_block
 from repro.retriever.negatives import TrainingExample
 
 
@@ -77,17 +78,26 @@ class DenseRetriever:
     # -- retrieval ----------------------------------------------------------
     def encode_query(self, query: str) -> np.ndarray:
         """Normalized query embedding."""
+        COUNTERS.record_encode(1)
         vec = self.encoder.encode_numpy([query])[0]
         norm = np.linalg.norm(vec) or 1.0
         return vec / norm
+
+    def encode_queries(self, queries: Sequence[str]) -> np.ndarray:
+        """Row-normalized query embeddings, one encoder pass."""
+        if not queries:
+            return np.zeros((0, self.encoder.config.dim))
+        COUNTERS.record_encode(len(queries))
+        matrix = self.encoder.encode_numpy(list(queries))
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return matrix / norms
 
     def retrieve(
         self, query: str, k: int = 10, exclude: Optional[Sequence[int]] = None
     ) -> List[Tuple[int, float]]:
         """Top-k (doc_id, cosine) via maximum inner-product search."""
-        self._ensure_fresh()
-        scores = self._doc_matrix @ self.encode_query(query)
-        return self._top_k(scores, k, exclude)
+        return self.retrieve_by_vector(self.encode_query(query), k, exclude)
 
     def retrieve_by_vector(
         self,
@@ -97,8 +107,42 @@ class DenseRetriever:
     ) -> List[Tuple[int, float]]:
         """MIPS with a precomputed (normalized) query vector."""
         self._ensure_fresh()
-        scores = self._doc_matrix @ query_vec
+        with time_block() as elapsed:
+            scores = self._doc_matrix @ query_vec
+        COUNTERS.record_scoring(
+            1, self._doc_matrix.shape[0], self._doc_matrix.shape[0],
+            elapsed(),
+        )
         return self._top_k(scores, k, exclude)
+
+    def retrieve_batch(
+        self,
+        query_matrix: np.ndarray,
+        k: int = 10,
+        exclude: Optional[Sequence[Optional[Sequence[int]]]] = None,
+    ) -> List[List[Tuple[int, float]]]:
+        """MIPS for many queries with one ``Q×D`` matmul.
+
+        ``exclude``, when given, holds one exclusion list per query row.
+        """
+        self._ensure_fresh()
+        queries = np.atleast_2d(np.asarray(query_matrix))
+        if queries.shape[0] == 0:
+            return []
+        with time_block() as elapsed:
+            score_matrix = queries @ self._doc_matrix.T
+        COUNTERS.record_scoring(
+            queries.shape[0],
+            self._doc_matrix.shape[0],
+            self._doc_matrix.shape[0],
+            elapsed(),
+        )
+        return [
+            self._top_k(
+                row, k, exclude[i] if exclude is not None else None
+            )
+            for i, row in enumerate(score_matrix)
+        ]
 
     def _top_k(self, scores, k, exclude):
         excluded = set(exclude or ())
@@ -115,6 +159,52 @@ class DenseRetriever:
 
     def retrieve_titles(self, query: str, k: int = 10) -> List[str]:
         return [self.corpus[d].title for d, _ in self.retrieve(query, k=k)]
+
+    # -- two-hop paths -------------------------------------------------------
+    def hop2_query(self, question: str, doc_id: int) -> str:
+        """The hop-2 query given a hop-1 document (subclass-specific)."""
+        raise NotImplementedError
+
+    def two_hop_paths(
+        self,
+        question: str,
+        k_hop1: int,
+        k_hop2: int,
+        k_paths: int = 8,
+    ) -> List[Tuple[str, ...]]:
+        """Beam two-hop retrieval with additive path scores.
+
+        The shared skeleton of the TPRR / MDR / HopRetriever baselines:
+        hop-2 queries for the whole hop-1 beam are encoded in one batch
+        and scored with a single matmul via :meth:`retrieve_batch`.
+        """
+        hop1_results = self.retrieve(question, k=k_hop1)
+        queries = [
+            self.hop2_query(question, doc_id) for doc_id, _ in hop1_results
+        ]
+        query_matrix = self.encode_queries(queries)
+        hop2_lists = self.retrieve_batch(
+            query_matrix,
+            k=k_hop2,
+            exclude=[[doc_id] for doc_id, _ in hop1_results],
+        )
+        paths: List[Tuple[str, ...]] = []
+        scores: List[float] = []
+        seen = set()
+        for (hop1_id, hop1_score), hop2_results in zip(
+            hop1_results, hop2_lists
+        ):
+            for hop2_id, hop2_score in hop2_results:
+                key = (hop1_id, hop2_id)
+                if key in seen:
+                    continue
+                seen.add(key)
+                paths.append(
+                    (self.corpus[hop1_id].title, self.corpus[hop2_id].title)
+                )
+                scores.append(hop1_score + hop2_score)
+        order = sorted(range(len(paths)), key=lambda i: -scores[i])
+        return [paths[i] for i in order[:k_paths]]
 
     # -- training -----------------------------------------------------------
     def train(

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-import numpy as np
-
 from repro.baselines.dense_base import DenseConfig, DenseRetriever
 from repro.data.corpus import Corpus
 from repro.encoder.minibert import MiniBertEncoder
@@ -67,21 +65,6 @@ class HopRetrieverBaseline(DenseRetriever):
     def retrieve_paths(
         self, question: str, k_paths: int = 8
     ) -> List[Tuple[str, ...]]:
-        paths: List[Tuple[str, ...]] = []
-        scores: List[float] = []
-        seen = set()
-        for hop1_id, hop1_score in self.retrieve(question, k=self.k_hop1):
-            query = self.hop2_query(question, hop1_id)
-            for hop2_id, hop2_score in self.retrieve(
-                query, k=self.k_hop2, exclude=[hop1_id]
-            ):
-                key = (hop1_id, hop2_id)
-                if key in seen:
-                    continue
-                seen.add(key)
-                paths.append(
-                    (self.corpus[hop1_id].title, self.corpus[hop2_id].title)
-                )
-                scores.append(hop1_score + hop2_score)
-        order = sorted(range(len(paths)), key=lambda i: -scores[i])
-        return [paths[i] for i in order[:k_paths]]
+        return self.two_hop_paths(
+            question, self.k_hop1, self.k_hop2, k_paths=k_paths
+        )

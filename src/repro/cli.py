@@ -23,6 +23,7 @@ from repro.data.hotpot import build_hotpot_dataset
 from repro.data.world import World, WorldConfig
 from repro.encoder.minibert import EncoderConfig
 from repro.eval.metrics import RetrievalScorecard, path_exact_match
+from repro.perf import COUNTERS
 from repro.pipeline.framework import FrameworkConfig, TripleFactRetrieval
 from repro.retriever.trainer import TrainerConfig
 
@@ -79,9 +80,12 @@ def cmd_build(args) -> int:
 
 def cmd_query(args) -> int:
     system, _world, _corpus, _dataset = _rebuild(Path(args.model))
+    COUNTERS.reset()
     for path in system.retrieve_paths(args.question, k=args.k):
         print(path.explain())
         print()
+    if args.stats:
+        print(COUNTERS.summary())
     return 0
 
 
@@ -89,6 +93,7 @@ def cmd_eval(args) -> int:
     system, _world, _corpus, dataset = _rebuild(Path(args.model))
     card = RetrievalScorecard()
     questions = dataset.test[: args.n]
+    COUNTERS.reset()
     for question in questions:
         paths = system.retrieve_paths(question.text, k=8)
         card.add(
@@ -99,6 +104,8 @@ def cmd_eval(args) -> int:
     for qtype in sorted(card.hits):
         print(f"  {qtype}: PEM@8 = {card.rate(qtype):.3f}")
     print(f"  total: PEM@8 = {card.total:.3f}")
+    if args.stats:
+        print(COUNTERS.summary())
     return 0
 
 
@@ -139,12 +146,20 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="ask a trained system a question")
     query.add_argument("--model", required=True)
     query.add_argument("--k", type=int, default=3)
+    query.add_argument(
+        "--stats", action="store_true",
+        help="print retrieval perf counters (encodes, matmul time)",
+    )
     query.add_argument("question")
     query.set_defaults(func=cmd_query)
 
     evaluate = sub.add_parser("eval", help="evaluate path PEM@8 on the test set")
     evaluate.add_argument("--model", required=True)
     evaluate.add_argument("--n", type=int, default=100)
+    evaluate.add_argument(
+        "--stats", action="store_true",
+        help="print retrieval perf counters (encodes, matmul time)",
+    )
     evaluate.set_defaults(func=cmd_eval)
 
     demo = sub.add_parser("demo", help="run OIE + Algorithm 1 on raw text")

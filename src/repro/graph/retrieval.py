@@ -72,4 +72,6 @@ class GraphAssistedReranker:
                 )
             )
         rescored.sort(key=lambda p: (-p.score, p.doc_ids))
-        return rescored[: k or len(rescored)]
+        if k is None:
+            return rescored
+        return rescored[: max(k, 0)]

@@ -1,0 +1,5 @@
+"""Lightweight performance instrumentation for the retrieval hot path."""
+
+from repro.perf.counters import COUNTERS, PerfCounters, time_block
+
+__all__ = ["COUNTERS", "PerfCounters", "time_block"]

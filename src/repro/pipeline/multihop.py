@@ -80,61 +80,100 @@ class MultiHopRetriever:
         self.updater = updater
         self.config = config or MultiHopConfig()
 
+    @staticmethod
+    def _clue_text(question: str, clue: Triple) -> str:
+        """The encoded bridge signal of one updater clue.
+
+        Encode only the clue's *novel* tokens: the full flattened triple
+        still contains the anchor entity (its subject), which would pull
+        hop 2 straight back to hop-1-like documents; the novel part is the
+        bridge signal. The sharpest such signal is the novel *entity*:
+        prefer capitalized novel tokens, then any novel token, then the
+        whole clue.
+        """
+        question_tokens = set(
+            t.lower() for t in question.replace("?", " ").split()
+        )
+        novel = [
+            token
+            for token in clue.flatten().split()
+            if token.lower() not in question_tokens
+        ]
+        capitalized = [t for t in novel if t[:1].isupper()]
+        return " ".join(capitalized or novel) or clue.flatten()
+
     def retrieve_paths(
         self, question: str, k_paths: Optional[int] = None
     ) -> List[DocumentPath]:
-        """Top-k document paths for ``question`` (Eq. 8 scoring)."""
+        """Top-k document paths for ``question`` (Eq. 8 scoring).
+
+        Hop 2 is batched: clue texts for the whole hop-1 beam are encoded
+        in one encoder pass and all hop-2 queries run as a single
+        :meth:`SingleRetriever.retrieve_batch` matmul instead of
+        ``k_hop1`` sequential retrievals.
+        """
         cfg = self.config
-        k_paths = k_paths or cfg.k_paths
+        if k_paths is None:
+            k_paths = cfg.k_paths
+        if k_paths <= 0:
+            return []
         question_vec = self.retriever.encode_question(question)
         hop1_results = self.retriever.retrieve_by_vector(
             question_vec, k=cfg.k_hop1
         )
-        paths: List[DocumentPath] = []
-        seen = set()
-        for hop1 in hop1_results:
+        # select all clues first so their texts encode as one batch
+        clues: List[Optional[Triple]] = []
+        updated_questions: List[str] = []
+        clue_texts: List[str] = []
+        clue_rows: List[int] = []
+        for row, hop1 in enumerate(hop1_results):
             triples = self.retriever.store.triples(hop1.doc_id)
             selected = self.updater.select_clue(question, triples)
             clue = selected[1] if selected else None
-            if clue is not None:
-                updated = compose_updated_question(question, clue)
-                # encode only the clue's *novel* tokens: the full flattened
-                # triple still contains the anchor entity (its subject),
-                # which would pull hop 2 straight back to hop-1-like
-                # documents; the novel part is the bridge signal.
-                question_tokens = set(
-                    t.lower() for t in question.replace("?", " ").split()
-                )
-                novel = [
-                    token
-                    for token in clue.flatten().split()
-                    if token.lower() not in question_tokens
-                ]
-                # the sharpest bridge signal is the novel *entity*: prefer
-                # capitalized novel tokens, then any novel token, then the
-                # whole clue
-                capitalized = [t for t in novel if t[:1].isupper()]
-                clue_text = " ".join(capitalized or novel) or clue.flatten()
-                clue_vec = self.retriever.encoder.encode_numpy([clue_text])[0]
-                norm_q = np.linalg.norm(question_vec) or 1.0
-                norm_c = np.linalg.norm(clue_vec) or 1.0
-                hop2_vec = (
-                    question_vec / norm_q
-                    + cfg.clue_weight * clue_vec / norm_c
-                )
+            clues.append(clue)
+            if clue is None:
+                updated_questions.append(question)
             else:
-                updated = question
-                hop2_vec = question_vec
-            hop2_results = self.retriever.retrieve_by_vector(
-                hop2_vec, k=cfg.k_hop2 + 1
+                updated_questions.append(
+                    compose_updated_question(question, clue)
+                )
+                clue_texts.append(self._clue_text(question, clue))
+                clue_rows.append(row)
+        hop2_matrix = np.tile(question_vec, (len(hop1_results), 1))
+        if clue_texts:
+            clue_matrix = self.retriever.encode_questions(clue_texts)
+            norm_q = np.linalg.norm(question_vec) or 1.0
+            norms_c = np.linalg.norm(clue_matrix, axis=1, keepdims=True)
+            norms_c[norms_c == 0] = 1.0
+            hop2_matrix[clue_rows] = (
+                question_vec / norm_q
+                + cfg.clue_weight * clue_matrix / norms_c
             )
+        # one Q×T matmul covers every hop-1 candidate's second hop
+        hop2_lists = (
+            self.retriever.retrieve_batch(hop2_matrix, k=cfg.k_hop2 + 1)
+            if len(hop1_results)
+            else []
+        )
+        paths: List[DocumentPath] = []
+        seen = set()
+        for hop1, clue, updated, hop2_results in zip(
+            hop1_results, clues, updated_questions, hop2_lists
+        ):
+            survivors = 0
             for hop2 in hop2_results:
+                # the +1 overfetch exists only to absorb the hop-1 doc
+                # itself; cap the survivors so the per-candidate beam stays
+                # exactly k_hop2 even when the hop-1 doc is absent
+                if survivors >= cfg.k_hop2:
+                    break
                 if hop2.doc_id == hop1.doc_id:
                     continue
                 key = (hop1.doc_id, hop2.doc_id)
                 if key in seen:
                     continue
                 seen.add(key)
+                survivors += 1
                 paths.append(
                     DocumentPath(
                         doc_ids=(hop1.doc_id, hop2.doc_id),

@@ -28,7 +28,6 @@ from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.pipeline.multihop import DocumentPath, MultiHopRetriever
 from repro.retriever.single import SingleRetriever
-from repro.retriever.strategies import cosine_matrix
 from repro.text.tokenize import tokenize
 
 
@@ -63,12 +62,12 @@ class PathRanker:
     # -- features ----------------------------------------------------------
     def _best_triple(self, query_vec: np.ndarray, doc_id: int):
         """(triple, score, embedding) of the doc's best match for the query."""
-        matrix = self.retriever.doc_embeddings(doc_id)
         triples = self.retriever.store.triples(doc_id)
-        if not len(triples) or matrix.shape[0] == 0:
+        scores = self.retriever.triple_scores(query_vec, doc_id)
+        if not len(triples) or scores.shape[0] == 0:
             return None, 0.0, None
-        scores = cosine_matrix(query_vec, matrix)
         index = int(scores.argmax())
+        matrix = self.retriever.doc_embeddings(doc_id)
         return triples[index], float(scores[index]), matrix[index]
 
     @staticmethod
@@ -84,9 +83,18 @@ class PathRanker:
         self, question: str, path: DocumentPath
     ) -> Tuple[np.ndarray, str]:
         """(feature vector, path text) for one candidate path."""
+        scalars, path_text = self._scalar_features(
+            question, self.retriever.encode_question(question), path
+        )
+        embedding = self.retriever.encoder.encode_numpy([path_text])[0]
+        return np.concatenate([embedding, scalars]), path_text
+
+    def _scalar_features(
+        self, question: str, query_vec: np.ndarray, path: DocumentPath
+    ) -> Tuple[np.ndarray, str]:
+        """(scalar features, path text) given a pre-encoded question."""
         encoder = self.retriever.encoder
         vocab, weights = encoder.vocab, encoder._token_weights
-        query_vec = self.retriever.encode_question(question)
         question_tokens = set(tokenize(question))
         doc1, doc2 = path.doc_ids[0], path.doc_ids[1]
         triple1, score1, vec1 = self._best_triple(query_vec, doc1)
@@ -129,15 +137,27 @@ class PathRanker:
         if triple2 is not None:
             parts.append(triple2.flatten())
         path_text = " [SEP] ".join(parts)
-        embedding = encoder.encode_numpy([path_text])[0]
-        return np.concatenate([embedding, scalars]), path_text
+        return scalars, path_text
 
     def _feature_matrix(
         self, question: str, paths: Sequence[DocumentPath]
     ) -> np.ndarray:
-        return np.stack(
-            [self.path_features(question, p)[0] for p in paths]
-        )
+        """Feature rows for all candidate paths of one question.
+
+        The question is encoded once and all path texts go through the
+        encoder as a single batch, instead of one encoder call per path.
+        """
+        query_vec = self.retriever.encode_question(question)
+        scalar_rows: List[np.ndarray] = []
+        path_texts: List[str] = []
+        for path in paths:
+            scalars, path_text = self._scalar_features(
+                question, query_vec, path
+            )
+            scalar_rows.append(scalars)
+            path_texts.append(path_text)
+        embeddings = self.retriever.encoder.encode_numpy(path_texts)
+        return np.concatenate([embeddings, np.stack(scalar_rows)], axis=1)
 
     # -- scoring ----------------------------------------------------------
     def score_paths(
@@ -183,7 +203,9 @@ class PathRanker:
                     updated_question=path.updated_question,
                 )
             )
-        return reranked[: k or len(reranked)]
+        if k is None:
+            return reranked
+        return reranked[: max(k, 0)]
 
 
 class PathRankerTrainer:

@@ -15,6 +15,7 @@ from repro.retriever.strategies import (
     TOP_K,
     MEAN,
     ScoreStrategy,
+    aggregate_segments,
     score_documents,
 )
 from repro.retriever.single import SingleRetriever, RetrievedDocument
@@ -28,6 +29,7 @@ __all__ = [
     "TOP_K",
     "MEAN",
     "ScoreStrategy",
+    "aggregate_segments",
     "score_documents",
     "SingleRetriever",
     "RetrievedDocument",

@@ -5,6 +5,15 @@ one-hop retrieval queries: encode the question, compute cosine scores
 against all triple facts, aggregate per document with a score strategy,
 return the top-k documents *with the matching triple* — the concrete,
 explainable evidence the paper emphasizes.
+
+Scoring is vectorized: :meth:`SingleRetriever.refresh_embeddings` stacks
+all triples into one L2-normalized ``(total_triples, dim)`` matrix with
+per-document offsets, so a query (or a whole batch of queries) is scored
+with a single matmul and the per-document aggregation runs as
+``reduceat`` segment reductions (:func:`repro.retriever.strategies.
+aggregate_segments`). The original document-by-document loop survives as
+:meth:`retrieve_by_vector_legacy` — the reference implementation the
+parity tests compare against.
 """
 
 from __future__ import annotations
@@ -16,8 +25,14 @@ import numpy as np
 
 from repro.encoder.minibert import MiniBertEncoder
 from repro.oie.triple import Triple
+from repro.perf import COUNTERS, time_block
 from repro.retriever.store import TripleStore
-from repro.retriever.strategies import ONE_FACT, ScoreStrategy, cosine_matrix
+from repro.retriever.strategies import (
+    ONE_FACT,
+    ScoreStrategy,
+    aggregate_segments,
+    cosine_matrix,
+)
 
 
 @dataclass
@@ -40,6 +55,13 @@ class RetrievedDocument:
         )
 
 
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-L2-normalized copy; zero rows stay zero."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    np.maximum(norms, np.finfo(np.float64).tiny, out=norms)
+    return matrix / norms
+
+
 class SingleRetriever:
     """Dense triple-fact retrieval over a :class:`TripleStore`."""
 
@@ -54,15 +76,19 @@ class SingleRetriever:
         self.strategy = strategy or ScoreStrategy(ONE_FACT)
         self._embeddings: Dict[int, np.ndarray] = {}
         self._stacked: Optional[np.ndarray] = None
+        self._normed: Optional[np.ndarray] = None
         self._doc_order: List[int] = []
+        self._doc_pos: Dict[int, int] = {}
         self._offsets: List[int] = []
+        self._offsets_arr: Optional[np.ndarray] = None
 
     # -- embedding maintenance ------------------------------------------------
     def refresh_embeddings(self, batch_size: int = 128) -> None:
         """(Re-)encode the flattened triples of every document.
 
         Call after training the encoder; retrieval uses these cached
-        embeddings.
+        embeddings. Besides the per-document views this builds the flat
+        normalized matrix + offsets that the single-matmul path scores.
         """
         self._embeddings.clear()
         texts: List[str] = []
@@ -76,6 +102,7 @@ class SingleRetriever:
             if texts
             else np.zeros((0, self.encoder.config.dim))
         )
+        COUNTERS.record_encode(len(texts))
         self._doc_order = []
         self._offsets = []
         for doc_id, start, stop in spans:
@@ -83,6 +110,9 @@ class SingleRetriever:
             self._doc_order.append(doc_id)
             self._offsets.append(start)
         self._stacked = matrix
+        self._normed = _normalize_rows(matrix)
+        self._doc_pos = {d: i for i, d in enumerate(self._doc_order)}
+        self._offsets_arr = np.asarray(self._offsets, dtype=np.int64)
 
     def _ensure_fresh(self) -> None:
         if self._stacked is None:
@@ -98,7 +128,33 @@ class SingleRetriever:
     # -- retrieval ----------------------------------------------------------
     def encode_question(self, question: str) -> np.ndarray:
         """The question's [CLS] embedding as a numpy vector."""
+        COUNTERS.record_encode(1)
         return self.encoder.encode_numpy([question])[0]
+
+    def encode_questions(self, questions: Sequence[str]) -> np.ndarray:
+        """Batch of question embeddings, one encoder pass."""
+        if not questions:
+            return np.zeros((0, self.encoder.config.dim))
+        COUNTERS.record_encode(len(questions))
+        return self.encoder.encode_numpy(list(questions))
+
+    def triple_scores(self, query_vec: np.ndarray, doc_id: int) -> np.ndarray:
+        """Cosine of one query against one document's triples (fast path)."""
+        self._ensure_fresh()
+        position = self._doc_pos.get(doc_id)
+        if position is None:
+            return np.zeros(0)
+        start = self._offsets[position]
+        stop = (
+            self._offsets[position + 1]
+            if position + 1 < len(self._offsets)
+            else self._normed.shape[0]
+        )
+        query_vec = np.asarray(query_vec, dtype=np.float64)
+        norm = np.linalg.norm(query_vec)
+        if norm:
+            query_vec = query_vec / norm
+        return self._normed[start:stop] @ query_vec
 
     def retrieve(
         self,
@@ -133,11 +189,195 @@ class SingleRetriever:
         keep_triple_scores: bool = False,
     ) -> List[RetrievedDocument]:
         """Same as :meth:`retrieve` for an already-encoded question."""
+        return self.retrieve_batch(
+            np.asarray(query_vec)[None, :],
+            k=k,
+            strategy=strategy,
+            candidate_ids=candidate_ids,
+            keep_triple_scores=keep_triple_scores,
+        )[0]
+
+    def retrieve_batch(
+        self,
+        query_matrix: np.ndarray,
+        k: int = 10,
+        strategy: Optional[ScoreStrategy] = None,
+        candidate_ids: Optional[Sequence[int]] = None,
+        keep_triple_scores: bool = False,
+    ) -> List[List[RetrievedDocument]]:
+        """Top-k documents for every row of ``query_matrix`` at once.
+
+        All queries are scored against all triples with one ``Q×T`` matmul;
+        per-document aggregation runs as segment reductions. Returns one
+        result list per query row, each identical to what
+        :meth:`retrieve_by_vector` returns for that row.
+        """
         self._ensure_fresh()
         strategy = strategy or self.strategy
-        doc_ids = (
-            list(candidate_ids) if candidate_ids is not None else self._doc_order
+        queries = np.atleast_2d(np.asarray(query_matrix, dtype=np.float64))
+        doc_ids, offsets, gather = self._candidate_layout(candidate_ids)
+        if queries.shape[0] == 0 or doc_ids.size == 0 or k <= 0:
+            return [[] for _ in range(queries.shape[0])]
+        queries_normed = _normalize_rows(queries)
+        with time_block() as elapsed:
+            triple_matrix = (
+                self._normed if gather is None else self._normed[gather]
+            )
+            # the single matmul: every query against every candidate triple
+            score_matrix = queries_normed @ triple_matrix.T
+        COUNTERS.record_scoring(
+            n_queries=queries.shape[0],
+            n_docs=doc_ids.size,
+            n_triples=triple_matrix.shape[0],
+            seconds=elapsed(),
         )
+        return [
+            self._rank_documents(
+                row, doc_ids, offsets, strategy, k, keep_triple_scores
+            )
+            for row in score_matrix
+        ]
+
+    # -- vectorized internals ------------------------------------------------
+    def _candidate_layout(self, candidate_ids: Optional[Sequence[int]]):
+        """(doc_ids, offsets, gather) describing the scored triple layout.
+
+        Without candidates this is the full stacked matrix (``gather`` is
+        None). With candidates, ids are de-duplicated order-preserving and
+        validated against the corpus; ``gather`` indexes the stacked matrix
+        rows belonging to the candidates, ``offsets`` are segment starts in
+        that gathered layout. Candidates without triples become empty
+        segments (score ``EMPTY_SCORE``, no explanation), matching the
+        legacy loop.
+        """
+        if candidate_ids is None:
+            return (
+                np.asarray(self._doc_order, dtype=np.int64),
+                self._offsets_arr,
+                None,
+            )
+        n_corpus = len(self.store.corpus)
+        unique: List[int] = []
+        seen = set()
+        for doc_id in candidate_ids:
+            doc_id = int(doc_id)
+            if doc_id in seen:
+                continue
+            if not 0 <= doc_id < n_corpus:
+                raise KeyError(
+                    f"candidate doc_id {doc_id} not in corpus "
+                    f"(valid range 0..{n_corpus - 1})"
+                )
+            seen.add(doc_id)
+            unique.append(doc_id)
+        total = self._normed.shape[0]
+        pieces: List[np.ndarray] = []
+        offsets = np.zeros(len(unique), dtype=np.int64)
+        cursor = 0
+        for i, doc_id in enumerate(unique):
+            offsets[i] = cursor
+            position = self._doc_pos.get(doc_id)
+            if position is None:
+                continue  # corpus doc without triples: empty segment
+            start = self._offsets[position]
+            stop = (
+                self._offsets[position + 1]
+                if position + 1 < len(self._offsets)
+                else total
+            )
+            pieces.append(np.arange(start, stop, dtype=np.int64))
+            cursor += stop - start
+        gather = (
+            np.concatenate(pieces)
+            if pieces
+            else np.zeros(0, dtype=np.int64)
+        )
+        return np.asarray(unique, dtype=np.int64), offsets, gather
+
+    def _rank_documents(
+        self,
+        flat_scores: np.ndarray,
+        doc_ids: np.ndarray,
+        offsets: np.ndarray,
+        strategy: ScoreStrategy,
+        k: int,
+        keep_triple_scores: bool,
+    ) -> List[RetrievedDocument]:
+        """Aggregate one query's flat triple scores and pick top-k docs."""
+        aggregated, matched = aggregate_segments(
+            flat_scores, offsets, strategy
+        )
+        n_docs = doc_ids.size
+        k = min(k, n_docs)
+        if k < n_docs:
+            # argpartition finds the top-k set in O(n); boundary ties are
+            # then resolved exactly like the legacy sort (-score, doc_id)
+            part = np.argpartition(-aggregated, k - 1)
+            boundary = aggregated[part[k - 1]]
+            candidates = np.nonzero(aggregated >= boundary)[0]
+        else:
+            candidates = np.arange(n_docs)
+        order = candidates[
+            np.lexsort((doc_ids[candidates], -aggregated[candidates]))
+        ][:k]
+        total = flat_scores.shape[0]
+        results: List[RetrievedDocument] = []
+        for position in order:
+            position = int(position)
+            doc_id = int(doc_ids[position])
+            local = int(matched[position])
+            triples = self.store.triples(doc_id)
+            matched_triple = (
+                triples[local] if 0 <= local < len(triples) else None
+            )
+            triple_scores = None
+            if keep_triple_scores:
+                start = int(offsets[position])
+                stop = (
+                    int(offsets[position + 1])
+                    if position + 1 < offsets.shape[0]
+                    else total
+                )
+                triple_scores = flat_scores[start:stop].copy()
+            results.append(
+                RetrievedDocument(
+                    doc_id=doc_id,
+                    title=self.store.corpus[doc_id].title,
+                    score=float(aggregated[position]),
+                    matched_triple=matched_triple,
+                    triple_scores=triple_scores,
+                )
+            )
+        return results
+
+    # -- reference implementation -------------------------------------------
+    def retrieve_by_vector_legacy(
+        self,
+        query_vec: np.ndarray,
+        k: int = 10,
+        strategy: Optional[ScoreStrategy] = None,
+        candidate_ids: Optional[Sequence[int]] = None,
+        keep_triple_scores: bool = False,
+    ) -> List[RetrievedDocument]:
+        """Document-by-document reference scorer.
+
+        Kept for the parity tests that pin the vectorized path to the
+        original semantics; O(corpus) Python-level iterations — do not use
+        on hot paths.
+        """
+        self._ensure_fresh()
+        strategy = strategy or self.strategy
+        if candidate_ids is not None:
+            doc_ids = list(dict.fromkeys(int(d) for d in candidate_ids))
+            n_corpus = len(self.store.corpus)
+            for doc_id in doc_ids:
+                if not 0 <= doc_id < n_corpus:
+                    raise KeyError(
+                        f"candidate doc_id {doc_id} not in corpus "
+                        f"(valid range 0..{n_corpus - 1})"
+                    )
+        else:
+            doc_ids = self._doc_order
         results: List[RetrievedDocument] = []
         for doc_id in doc_ids:
             matrix = self.doc_embeddings(doc_id)
@@ -160,4 +400,4 @@ class SingleRetriever:
                 )
             )
         results.sort(key=lambda r: (-r.score, r.doc_id))
-        return results[:k]
+        return results[: max(k, 0)]

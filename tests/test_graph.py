@@ -96,3 +96,14 @@ class TestGraphRetrieval:
             DocumentPath(doc_ids=(0, 2), titles=("a", "c"), score=0.5),
         ]
         assert len(GraphAssistedReranker(graph).rerank(paths, k=1)) == 1
+
+    def test_reranker_k_zero_and_none(self, graph):
+        paths = [
+            DocumentPath(doc_ids=(0, 1), titles=("a", "b"), score=1.0),
+            DocumentPath(doc_ids=(0, 2), titles=("a", "c"), score=0.5),
+        ]
+        reranker = GraphAssistedReranker(graph)
+        # k=0 must return nothing, not fall back to "all paths"
+        assert reranker.rerank(paths, k=0) == []
+        assert len(reranker.rerank(paths, k=None)) == len(paths)
+        assert len(reranker.rerank(paths)) == len(paths)

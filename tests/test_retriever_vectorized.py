@@ -1,0 +1,190 @@
+"""Parity and regression tests for the vectorized retrieval path.
+
+The single-matmul scorer (`retrieve_by_vector` / `retrieve_batch`) must be
+indistinguishable — ranking, scores, explaining triples — from the
+document-by-document reference loop kept as
+:meth:`SingleRetriever.retrieve_by_vector_legacy`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf import COUNTERS
+from repro.retriever.strategies import MEAN, ONE_FACT, TOP_K, ScoreStrategy
+
+STRATEGIES = [
+    pytest.param(ScoreStrategy(ONE_FACT), id="one_fact"),
+    pytest.param(ScoreStrategy(TOP_K, k=2), id="top2"),
+    pytest.param(ScoreStrategy(TOP_K, k=5), id="top5"),
+    pytest.param(ScoreStrategy(MEAN), id="mean"),
+]
+
+QUESTIONS = [
+    "when was the club founded",
+    "which band recorded the film soundtrack",
+    "who played for the team that won the award",
+]
+
+
+def _assert_same_results(fast, slow):
+    assert [r.doc_id for r in fast] == [r.doc_id for r in slow]
+    assert [r.title for r in fast] == [r.title for r in slow]
+    np.testing.assert_allclose(
+        [r.score for r in fast], [r.score for r in slow], atol=1e-6
+    )
+    for a, b in zip(fast, slow):
+        assert (a.matched_triple is None) == (b.matched_triple is None)
+        if a.matched_triple is not None:
+            assert a.matched_triple == b.matched_triple
+
+
+class TestVectorizedParity:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("question", QUESTIONS)
+    def test_full_corpus_parity(self, retriever, strategy, question):
+        vec = retriever.encode_question(question)
+        fast = retriever.retrieve_by_vector(vec, k=10, strategy=strategy)
+        slow = retriever.retrieve_by_vector_legacy(
+            vec, k=10, strategy=strategy
+        )
+        _assert_same_results(fast, slow)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_triple_scores_parity(self, retriever, strategy):
+        vec = retriever.encode_question(QUESTIONS[0])
+        fast = retriever.retrieve_by_vector(
+            vec, k=5, strategy=strategy, keep_triple_scores=True
+        )
+        slow = retriever.retrieve_by_vector_legacy(
+            vec, k=5, strategy=strategy, keep_triple_scores=True
+        )
+        for a, b in zip(fast, slow):
+            np.testing.assert_allclose(
+                a.triple_scores, b.triple_scores, atol=1e-6
+            )
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_candidate_subset_parity(self, retriever, strategy):
+        vec = retriever.encode_question(QUESTIONS[1])
+        candidates = [7, 3, 11, 0, 5]
+        fast = retriever.retrieve_by_vector(
+            vec, k=4, strategy=strategy, candidate_ids=candidates
+        )
+        slow = retriever.retrieve_by_vector_legacy(
+            vec, k=4, strategy=strategy, candidate_ids=candidates
+        )
+        _assert_same_results(fast, slow)
+
+    def test_retrieve_uses_vectorized_path(self, retriever):
+        """`retrieve` and the legacy loop agree end to end."""
+        results = retriever.retrieve(QUESTIONS[0], k=6)
+        legacy = retriever.retrieve_by_vector_legacy(
+            retriever.encode_question(QUESTIONS[0]), k=6
+        )
+        _assert_same_results(results, legacy)
+
+
+class TestRetrieveBatch:
+    def test_batch_matches_single_queries(self, retriever):
+        vecs = np.stack(
+            [retriever.encode_question(q) for q in QUESTIONS]
+        )
+        batched = retriever.retrieve_batch(vecs, k=5)
+        assert len(batched) == len(QUESTIONS)
+        for row, vec in zip(batched, vecs):
+            _assert_same_results(row, retriever.retrieve_by_vector(vec, k=5))
+
+    def test_batch_is_one_matmul(self, retriever):
+        vecs = np.stack(
+            [retriever.encode_question(q) for q in QUESTIONS]
+        )
+        before = COUNTERS.matmul_calls
+        retriever.retrieve_batch(vecs, k=5)
+        assert COUNTERS.matmul_calls == before + 1
+
+    def test_empty_batch(self, retriever):
+        out = retriever.retrieve_batch(
+            np.zeros((0, retriever.encoder.config.dim)), k=5
+        )
+        assert out == []
+
+    def test_k_zero_returns_empty(self, retriever):
+        vec = retriever.encode_question(QUESTIONS[0])
+        assert retriever.retrieve_by_vector(vec, k=0) == []
+        assert retriever.retrieve_by_vector_legacy(vec, k=0) == []
+
+
+class TestCandidateIds:
+    """Regression: duplicate and unknown candidate ids (ISSUE 1)."""
+
+    def test_duplicates_deduped_order_preserved(self, retriever):
+        vec = retriever.encode_question(QUESTIONS[0])
+        deduped = retriever.retrieve_by_vector(
+            vec, k=10, candidate_ids=[4, 2, 4, 9, 2, 4]
+        )
+        clean = retriever.retrieve_by_vector(
+            vec, k=10, candidate_ids=[4, 2, 9]
+        )
+        assert [r.doc_id for r in deduped] == [r.doc_id for r in clean]
+        assert len({r.doc_id for r in deduped}) == len(deduped) == 3
+
+    def test_unknown_id_raises_key_error(self, retriever):
+        vec = retriever.encode_question(QUESTIONS[0])
+        with pytest.raises(KeyError, match="not in corpus"):
+            retriever.retrieve_by_vector(vec, k=3, candidate_ids=[0, 10_000])
+        with pytest.raises(KeyError, match="not in corpus"):
+            retriever.retrieve_by_vector_legacy(
+                vec, k=3, candidate_ids=[0, 10_000]
+            )
+
+    def test_negative_id_raises_key_error(self, retriever):
+        vec = retriever.encode_question(QUESTIONS[0])
+        with pytest.raises(KeyError, match="not in corpus"):
+            retriever.retrieve_by_vector(vec, k=3, candidate_ids=[-1])
+
+    def test_candidate_without_triples_scores_empty(self, retriever, corpus):
+        """A corpus doc with no triples is a valid candidate: it gets the
+        empty-document sentinel score and no explanation (legacy semantics),
+        not a crash."""
+        # fabricate a triple-less candidate by picking an id the store
+        # doesn't know: none exist in the fixture, so simulate via a store
+        # whose last doc is removed
+        doc_id = retriever.store.doc_ids()[0]
+        removed = retriever.store._triples.pop(doc_id)
+        try:
+            retriever.refresh_embeddings()
+            vec = retriever.encode_question(QUESTIONS[0])
+            results = retriever.retrieve_by_vector(
+                vec, k=3, candidate_ids=[doc_id]
+            )
+            assert len(results) == 1
+            assert results[0].score == -1.0
+            assert results[0].matched_triple is None
+            legacy = retriever.retrieve_by_vector_legacy(
+                vec, k=3, candidate_ids=[doc_id]
+            )
+            assert legacy[0].score == -1.0
+        finally:
+            retriever.store._triples[doc_id] = removed
+            retriever.refresh_embeddings()
+
+    def test_empty_candidate_list(self, retriever):
+        vec = retriever.encode_question(QUESTIONS[0])
+        assert retriever.retrieve_by_vector(vec, k=3, candidate_ids=[]) == []
+
+
+class TestTripleScores:
+    def test_triple_scores_match_doc_embeddings(self, retriever):
+        """`triple_scores` (fast path) equals cosine against the cached
+        per-document matrix."""
+        from repro.retriever.strategies import cosine_matrix
+
+        vec = retriever.encode_question(QUESTIONS[2])
+        for doc_id in retriever.store.doc_ids()[:5]:
+            fast = retriever.triple_scores(vec, doc_id)
+            slow = cosine_matrix(vec, retriever.doc_embeddings(doc_id))
+            np.testing.assert_allclose(fast, slow, atol=1e-6)
+
+    def test_unknown_doc_gives_empty(self, retriever):
+        vec = retriever.encode_question(QUESTIONS[0])
+        assert retriever.triple_scores(vec, 10_000).shape == (0,)
