@@ -1,0 +1,62 @@
+"""Micro-benchmark: the static analyzer must stay fast enough to gate.
+
+``tests/test_lint_clean.py`` runs the full rule catalog on every tier-1
+invocation, so analyzer throughput is part of the suite's latency budget.
+This benchmark lints the real ``src/`` tree (parse + all rules + the
+suppression scanner), asserts a generous wall-clock ceiling, and writes
+``BENCH_lint.json`` next to this file.
+
+Marked ``perf``; tier-1 (`testpaths = tests`) never collects it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rule_ids, load_config, run_lint
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUT_PATH = Path(__file__).parent / "BENCH_lint.json"
+
+# best-of-3 over ~90 files runs in well under a second on the CI box;
+# the ceiling is ~6x headroom so only a real complexity regression
+# (e.g. a rule going quadratic in file size) trips it
+BUDGET_SECONDS = 5.0
+
+
+def _time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_lint_src_within_budget():
+    config = load_config(REPO_ROOT)
+    target = REPO_ROOT / "src"
+
+    report = run_lint([target], config=config)
+    assert report.files_scanned > 50
+
+    best = _time(lambda: run_lint([target], config=config))
+    payload = {
+        "files_scanned": report.files_scanned,
+        "findings": len(report.findings),
+        "n_rules": len(all_rule_ids()),
+        "seconds_best_of_3": best,
+        "files_per_second": report.files_scanned / best,
+        "budget_seconds": BUDGET_SECONDS,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2))
+    print(
+        f"\nlint throughput: {report.files_scanned} files in "
+        f"{best * 1e3:.0f} ms ({payload['files_per_second']:.0f} files/s)"
+    )
+    assert best <= BUDGET_SECONDS, payload
+    assert not report.findings, "src/ must lint clean (see tests/test_lint_clean.py)"

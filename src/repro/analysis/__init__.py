@@ -1,0 +1,43 @@
+"""Project-specific static analysis (``repro lint``).
+
+A visitor-based analysis pass over Python ``ast`` that encodes the bug
+classes this repo has actually been bitten by — falsy-zero ``or``
+defaults, uncounted encoder calls, un-normalized cosine matmuls, calls
+into the legacy per-document scorer — as enforced rules. The tier-1 gate
+(``tests/test_lint_clean.py``) keeps the tree clean on every PR; the rule
+catalog lives in :mod:`repro.analysis.rules` and ``DESIGN.md``.
+
+No third-party linters are available in this environment, so the pass is
+built on the stdlib ``ast`` / ``tokenize`` modules only.
+"""
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    all_rule_ids,
+    lint_file,
+    register,
+    run_lint,
+)
+from repro.analysis.reporting import render_json, render_text
+
+# importing the rules module populates the registry
+from repro.analysis import rules as _rules  # noqa: F401  (side-effect import)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "all_rule_ids",
+    "lint_file",
+    "load_config",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

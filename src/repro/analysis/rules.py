@@ -1,0 +1,631 @@
+"""The rule catalog: this repo's bug classes as enforced AST checks.
+
+Every rule here encodes a failure mode this codebase has actually hit (or
+is one refactor away from hitting) — see the "Static analysis" section of
+``DESIGN.md`` for the catalog with rationale. Rules are registered by id;
+``# lint: ignore[rule-id]`` on the offending line suppresses one finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+# directories that hold retrieval hot paths (scoped rules below)
+HOT_PATH_DIRS = frozenset({"retriever", "pipeline", "baselines"})
+COSINE_DIRS = HOT_PATH_DIRS | {"updater"}
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function/class defs."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            stack.append(child)
+
+
+def _scopes(tree: ast.AST) -> Iterator[Tuple[ast.AST, List[ast.stmt]]]:
+    """(scope node, body) for the module and every function definition."""
+    yield tree, getattr(tree, "body", [])
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def _identifiers(node: ast.AST) -> Iterator[str]:
+    """Every Name/Attribute/keyword identifier appearing inside ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+        elif isinstance(sub, ast.keyword) and sub.arg:
+            yield sub.arg
+
+
+def _all_args(args: ast.arguments) -> List[ast.arg]:
+    return [*args.posonlyargs, *args.args, *args.kwonlyargs]
+
+
+# ---------------------------------------------------------------------------
+# falsy-zero-default
+# ---------------------------------------------------------------------------
+
+_NUMERIC_NAME = re.compile(
+    r"^(k|n|top_k|num\w*|count|limit|size|length|depth|width|beam\w*|"
+    r"epochs?|seed|threshold|cutoff|k_\w+|n_\w+|max_\w+|min_\w+|batch_size)$"
+)
+# exactly a numeric scalar type, optionally Optional — NOT containers of
+# ints (Sequence[int] params legitimately use `x or ()` for emptiness)
+_NUMERIC_ANNOTATION = re.compile(
+    r"^(?:typing\.)?(?:Optional\[\s*(?:int|float)\s*\]|int|float|"
+    r"(?:int|float)\s*\|\s*None|None\s*\|\s*(?:int|float))$"
+)
+
+
+@register
+class FalsyZeroDefault(Rule):
+    """``param or default`` silently replaces a legitimate 0 / 0.0.
+
+    The PR-1 bug class: ``k_paths or cfg.k_paths`` turned an explicit
+    ``k_paths=0`` into the config default. Numeric parameters must use
+    ``param if param is not None else default``.
+    """
+
+    id = "falsy-zero-default"
+    description = (
+        "'x or default' on a numeric parameter treats 0 as unset; "
+        "use 'x if x is not None else default'"
+    )
+
+    def _numeric_params(self, node) -> Set[str]:
+        names: Set[str] = set()
+        args = _all_args(node.args)
+        defaults: Dict[str, ast.expr] = {}
+        positional = [*node.args.posonlyargs, *node.args.args]
+        for arg, default in zip(
+            reversed(positional), reversed(node.args.defaults)
+        ):
+            defaults[arg.arg] = default
+        for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+            if default is not None:
+                defaults[arg.arg] = default
+        for arg in args:
+            if _NUMERIC_NAME.match(arg.arg):
+                names.add(arg.arg)
+                continue
+            annotation = arg.annotation
+            if annotation is not None and _NUMERIC_ANNOTATION.match(
+                ast.unparse(annotation).strip()
+            ):
+                names.add(arg.arg)
+                continue
+            default = defaults.get(arg.arg)
+            if (
+                isinstance(default, ast.Constant)
+                and isinstance(default.value, (int, float))
+                and not isinstance(default.value, bool)
+            ):
+                names.add(arg.arg)
+        return names
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            numeric = self._numeric_params(node)
+            if not numeric:
+                continue
+            for sub in _walk_shallow(node):
+                if (
+                    isinstance(sub, ast.BoolOp)
+                    and isinstance(sub.op, ast.Or)
+                    and isinstance(sub.values[0], ast.Name)
+                    and sub.values[0].id in numeric
+                ):
+                    name = sub.values[0].id
+                    yield self.finding(
+                        ctx,
+                        sub,
+                        f"numeric parameter {name!r} uses a falsy-zero 'or' "
+                        f"default (0 silently becomes the fallback); use "
+                        f"'{name} if {name} is not None else ...'",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# mutable-default-arg
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict"})
+
+
+@register
+class MutableDefaultArg(Rule):
+    """A mutable default is shared across calls and mutates in place."""
+
+    id = "mutable-default-arg"
+    description = "mutable default argument (shared across calls); use None"
+
+    def _is_mutable(self, node: Optional[ast.expr]) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            return name in _MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            for default in [*node.args.defaults, *node.args.kw_defaults]:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        "mutable default argument is shared across calls; "
+                        "default to None and construct inside the function",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# bare-except / except-pass
+# ---------------------------------------------------------------------------
+
+
+@register
+class BareExcept(Rule):
+    """``except:`` also swallows KeyboardInterrupt/SystemExit and typos."""
+
+    id = "bare-except"
+    description = "bare 'except:' hides every error; name the exception type"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' catches everything (including "
+                    "KeyboardInterrupt); catch a specific exception type",
+                )
+
+
+@register
+class ExceptPass(Rule):
+    """An except body of only ``pass`` silently discards the failure."""
+
+    id = "except-pass"
+    description = "'except ...: pass' silently swallows the error"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+                yield self.finding(
+                    ctx,
+                    node.body[0],
+                    "exception handler silently swallows the error; handle "
+                    "it, log it, or narrow the type and say why in a comment",
+                )
+
+
+# ---------------------------------------------------------------------------
+# missing-perf-counter
+# ---------------------------------------------------------------------------
+
+_ENCODE_ATTRS = frozenset({"encode_numpy"})
+_PERF_MARKERS = frozenset(
+    {"COUNTERS", "record_encode", "record_scoring", "time_block"}
+)
+
+
+@register
+class MissingPerfCounter(Rule):
+    """Hot-path encoder calls must increment ``repro.perf`` counters.
+
+    The vectorized retrieval work made encoder invocations the observable
+    cost driver; a hot-path function that encodes without counting makes
+    ``--stats`` and the throughput benchmarks silently undercount.
+    """
+
+    id = "missing-perf-counter"
+    description = (
+        "hot-path function calls the encoder without touching repro.perf "
+        "counters"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(ctx.dir_parts & HOT_PATH_DIRS) and not ctx.is_test_file
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            encode_calls = [
+                sub
+                for sub in _walk_shallow(node)
+                if isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _ENCODE_ATTRS
+            ]
+            if not encode_calls:
+                continue
+            references = set()
+            for stmt in node.body:
+                references.update(_identifiers(stmt))
+            if references & _PERF_MARKERS:
+                continue
+            first = min(encode_calls, key=lambda call: call.lineno)
+            yield self.finding(
+                ctx,
+                first,
+                f"{node.name}() calls the encoder but never records "
+                "repro.perf counters (COUNTERS.record_encode/record_scoring)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# legacy-path-call
+# ---------------------------------------------------------------------------
+
+_LEGACY_NAME = "retrieve_by_vector_legacy"
+
+
+@register
+class LegacyPathCall(Rule):
+    """Production code must use the vectorized retrieval path.
+
+    The per-document reference loop exists only so parity tests can pin
+    the single-matmul scorer to the original semantics; the files allowed
+    to call it are listed under ``[tool.repro.lint.allow]``.
+    """
+
+    id = "legacy-path-call"
+    description = (
+        "call to the O(corpus) legacy scorer outside the parity tests"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            if name == _LEGACY_NAME:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{_LEGACY_NAME}() is the per-document reference loop "
+                    "kept for parity tests; production code must use "
+                    "retrieve_by_vector / retrieve_batch",
+                )
+
+
+# ---------------------------------------------------------------------------
+# unnormalized-matmul
+# ---------------------------------------------------------------------------
+
+_SCOREY_TARGET = re.compile(r"(score|cos|sim)", re.IGNORECASE)
+_NORM_IDENT = re.compile(r"norm", re.IGNORECASE)
+
+
+def _has_norm_evidence(node: ast.AST) -> bool:
+    return any(_NORM_IDENT.search(ident) for ident in _identifiers(node))
+
+
+@register
+class UnnormalizedMatmul(Rule):
+    """Cosine-score matmuls must run on L2-normalized operands.
+
+    A ``scores = A @ B`` where neither side went through the normalize
+    helper computes inner products, not cosines — retrieval then ranks by
+    vector length. Operands are accepted when the statement (or the
+    operand's own defining assignment / parameter name) mentions a
+    ``*norm*`` identifier, e.g. ``l2_normalize_rows(...)`` or
+    ``self._normed``.
+    """
+
+    id = "unnormalized-matmul"
+    description = (
+        "cosine-score matmul on operands with no visible L2 normalization"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(ctx.dir_parts & COSINE_DIRS) and not ctx.is_test_file
+
+    def _operand_ok(
+        self,
+        operand: ast.expr,
+        assignments: Dict[str, List[Tuple[int, ast.expr]]],
+        norm_params: Set[str],
+        before_line: int,
+    ) -> bool:
+        if _has_norm_evidence(operand):
+            return True
+        base = operand
+        while isinstance(base, (ast.Attribute, ast.Subscript, ast.Starred)):
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return False
+        if base.id in norm_params:
+            return True
+        prior = [
+            value
+            for lineno, value in assignments.get(base.id, [])
+            if lineno <= before_line
+        ]
+        return bool(prior) and _has_norm_evidence(prior[-1])
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for scope, _body in _scopes(ctx.tree):
+            norm_params: Set[str] = set()
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                norm_params = {
+                    arg.arg
+                    for arg in _all_args(scope.args)
+                    if _NORM_IDENT.search(arg.arg)
+                }
+            assignments: Dict[str, List[Tuple[int, ast.expr]]] = {}
+            statements = [
+                sub
+                for sub in _walk_shallow(scope)
+                if isinstance(sub, ast.Assign)
+            ]
+            statements.sort(key=lambda s: s.lineno)
+            for statement in statements:
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        assignments.setdefault(target.id, []).append(
+                            (statement.lineno, statement.value)
+                        )
+            for statement in statements:
+                if len(statement.targets) != 1:
+                    continue
+                target = statement.targets[0]
+                if not (
+                    isinstance(target, ast.Name)
+                    and _SCOREY_TARGET.search(target.id)
+                ):
+                    continue
+                matmuls = [
+                    sub
+                    for sub in ast.walk(statement.value)
+                    if isinstance(sub, ast.BinOp)
+                    and isinstance(sub.op, ast.MatMult)
+                ]
+                if not matmuls or _has_norm_evidence(statement.value):
+                    continue
+                for matmul in matmuls:
+                    bad = [
+                        operand
+                        for operand in (matmul.left, matmul.right)
+                        if not self._operand_ok(
+                            operand, assignments, norm_params, statement.lineno
+                        )
+                    ]
+                    if bad:
+                        yield self.finding(
+                            ctx,
+                            statement,
+                            f"cosine-score matmul assigned to "
+                            f"{target.id!r} has operand(s) with no visible "
+                            "L2 normalization; route them through "
+                            "l2_normalize_rows / l2_normalize_vec",
+                        )
+                        break
+
+
+# ---------------------------------------------------------------------------
+# shadowed-builtin-id
+# ---------------------------------------------------------------------------
+
+_SHADOWED_BUILTINS = frozenset(
+    {
+        "id", "type", "list", "dict", "set", "tuple", "str", "int", "float",
+        "bool", "bytes", "sum", "max", "min", "map", "filter", "zip",
+        "range", "len", "input", "next", "iter", "vars", "hash", "object",
+        "print", "open", "all", "any", "format", "dir",
+    }
+)
+
+
+def _target_names(target: ast.expr) -> Iterator[ast.Name]:
+    if isinstance(target, ast.Name):
+        yield target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+@register
+class ShadowedBuiltin(Rule):
+    """Binding ``id``/``type``/``sum``/... hides the builtin for the scope.
+
+    Class-body annotations (dataclass fields like ``object: str``) are
+    attribute names, not scope bindings, and are exempt.
+    """
+
+    id = "shadowed-builtin-id"
+    description = "local binding shadows a commonly used builtin"
+
+    def _flag(self, ctx: FileContext, node: ast.AST, name: str) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"binding {name!r} shadows the builtin; rename "
+            f"(e.g. {name}_ or a descriptive name)",
+        )
+
+    def _check_args(self, ctx, node) -> Iterator[Finding]:
+        for arg in [
+            *_all_args(node.args),
+            *([node.args.vararg] if node.args.vararg else []),
+            *([node.args.kwarg] if node.args.kwarg else []),
+        ]:
+            if arg.arg in _SHADOWED_BUILTINS:
+                yield self._flag(ctx, arg, arg.arg)
+
+    def _bindings(self, node: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in _target_names(target):
+                    yield name, name.id
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            for name in _target_names(node.target):
+                yield name, name.id
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name in _target_names(node.target):
+                yield name, name.id
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                for name in _target_names(generator.target):
+                    yield name, name.id
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for name in _target_names(item.optional_vars):
+                        yield name, name.id
+        elif isinstance(node, ast.NamedExpr):
+            yield node.target, node.target.id
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            yield node, node.name
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                yield node, bound
+
+    def _visit(
+        self, ctx: FileContext, node: ast.AST, skip_binding: bool
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not skip_binding and node.name in _SHADOWED_BUILTINS:
+                yield self._flag(ctx, node, node.name)
+            yield from self._check_args(ctx, node)
+            for child in node.body:
+                yield from self._visit(ctx, child, False)
+            return
+        if isinstance(node, ast.Lambda):
+            yield from self._check_args(ctx, node)
+            yield from self._visit(ctx, node.body, False)
+            return
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                yield from self._visit(ctx, child, True)
+            return
+        if not skip_binding:
+            for bound_node, name in self._bindings(node):
+                if name in _SHADOWED_BUILTINS:
+                    yield self._flag(ctx, bound_node, name)
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(ctx, child, False)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in getattr(ctx.tree, "body", []):
+            yield from self._visit(ctx, node, False)
+
+
+# ---------------------------------------------------------------------------
+# dict-iteration-mutation
+# ---------------------------------------------------------------------------
+
+_DICT_VIEWS = frozenset({"keys", "items", "values"})
+_MUTATING_METHODS = frozenset({"pop", "popitem", "clear", "update", "setdefault"})
+
+
+@register
+class DictIterationMutation(Rule):
+    """Mutating a dict while iterating it raises RuntimeError (or worse).
+
+    Adding or removing keys during ``for k in d`` / ``d.items()`` blows up
+    at runtime only when the branch actually executes; iterate over
+    ``list(d)`` (a snapshot) instead when mutation is intended.
+    """
+
+    id = "dict-iteration-mutation"
+    description = "container mutated while being iterated"
+
+    def _iterated_expr(self, node: ast.For) -> Optional[str]:
+        iterator = node.iter
+        if (
+            isinstance(iterator, ast.Call)
+            and isinstance(iterator.func, ast.Attribute)
+            and iterator.func.attr in _DICT_VIEWS
+            and not iterator.args
+        ):
+            return ast.unparse(iterator.func.value)
+        if isinstance(iterator, (ast.Name, ast.Attribute)):
+            return ast.unparse(iterator)
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            iterated = self._iterated_expr(node)
+            if iterated is None:
+                continue
+            for stmt in node.body:
+                for sub in _walk_shallow(stmt):
+                    yield from self._check_mutation(ctx, sub, iterated)
+
+    def _check_mutation(
+        self, ctx: FileContext, node: ast.AST, iterated: str
+    ) -> Iterator[Finding]:
+        message = (
+            f"'{iterated}' is mutated while being iterated; iterate over "
+            f"list({iterated}) (a snapshot) or collect changes first"
+        )
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and ast.unparse(target.value) == iterated
+                ):
+                    yield self.finding(ctx, node, message)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and ast.unparse(func.value) == iterated
+            ):
+                yield self.finding(ctx, node, message)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and ast.unparse(target.value) == iterated
+                ):
+                    yield self.finding(ctx, node, message)

@@ -22,6 +22,7 @@ from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.perf import COUNTERS, time_block
 from repro.retriever.negatives import TrainingExample
+from repro.retriever.strategies import l2_normalize_rows, l2_normalize_vec
 
 
 @dataclass
@@ -53,7 +54,7 @@ class DenseRetriever:
         self.encoder = encoder
         self.corpus = corpus
         self.config = config or DenseConfig()
-        self._doc_matrix: Optional[np.ndarray] = None
+        self._doc_normed: Optional[np.ndarray] = None
         self._rng = np.random.RandomState(self.config.seed)
 
     # -- representation ----------------------------------------------------
@@ -67,31 +68,25 @@ class DenseRetriever:
         """(Re-)encode every document into the MIPS matrix."""
         texts = [self.document_text(d.doc_id) for d in self.corpus]
         matrix = self.encoder.encode_numpy(texts, batch_size=batch_size)
-        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-        norms[norms == 0] = 1.0
-        self._doc_matrix = matrix / norms
+        COUNTERS.record_encode(len(texts))
+        self._doc_normed = l2_normalize_rows(matrix)
 
     def _ensure_fresh(self) -> None:
-        if self._doc_matrix is None:
+        if self._doc_normed is None:
             self.refresh_embeddings()
 
     # -- retrieval ----------------------------------------------------------
     def encode_query(self, query: str) -> np.ndarray:
         """Normalized query embedding."""
         COUNTERS.record_encode(1)
-        vec = self.encoder.encode_numpy([query])[0]
-        norm = np.linalg.norm(vec) or 1.0
-        return vec / norm
+        return l2_normalize_vec(self.encoder.encode_numpy([query])[0])
 
     def encode_queries(self, queries: Sequence[str]) -> np.ndarray:
         """Row-normalized query embeddings, one encoder pass."""
         if not queries:
             return np.zeros((0, self.encoder.config.dim))
         COUNTERS.record_encode(len(queries))
-        matrix = self.encoder.encode_numpy(list(queries))
-        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-        norms[norms == 0] = 1.0
-        return matrix / norms
+        return l2_normalize_rows(self.encoder.encode_numpy(list(queries)))
 
     def retrieve(
         self, query: str, k: int = 10, exclude: Optional[Sequence[int]] = None
@@ -108,9 +103,9 @@ class DenseRetriever:
         """MIPS with a precomputed (normalized) query vector."""
         self._ensure_fresh()
         with time_block() as elapsed:
-            scores = self._doc_matrix @ query_vec
+            scores = self._doc_normed @ query_vec
         COUNTERS.record_scoring(
-            1, self._doc_matrix.shape[0], self._doc_matrix.shape[0],
+            1, self._doc_normed.shape[0], self._doc_normed.shape[0],
             elapsed(),
         )
         return self._top_k(scores, k, exclude)
@@ -130,11 +125,11 @@ class DenseRetriever:
         if queries.shape[0] == 0:
             return []
         with time_block() as elapsed:
-            score_matrix = queries @ self._doc_matrix.T
+            score_matrix = queries @ self._doc_normed.T
         COUNTERS.record_scoring(
             queries.shape[0],
-            self._doc_matrix.shape[0],
-            self._doc_matrix.shape[0],
+            self._doc_normed.shape[0],
+            self._doc_normed.shape[0],
             elapsed(),
         )
         return [

@@ -65,7 +65,7 @@ class PathRetrieverBaseline:
     # -- internals ---------------------------------------------------------
     def _doc_vec(self, doc_id: int) -> np.ndarray:
         self.dense._ensure_fresh()
-        return self.dense._doc_matrix[doc_id]
+        return self.dense._doc_normed[doc_id]
 
     def _state_update(self, state: np.ndarray, doc_vec: np.ndarray) -> np.ndarray:
         joint = np.concatenate([state, doc_vec])

@@ -6,9 +6,12 @@ Subcommands::
     python -m repro.cli query  --model model_dir "When was the club ... ?"
     python -m repro.cli eval   --model model_dir [--n 100]
     python -m repro.cli demo   "a sentence or two of text"   # OIE + Alg.1
+    python -m repro.cli lint   [paths ...] [--format json] [--select ...]
 
 ``build`` trains the full system on a freshly generated world and saves it
 (plus the world seed, so ``query``/``eval`` can rebuild the same corpus).
+``lint`` runs the repo's own static analyzer (``repro.analysis``) and
+exits non-zero when any rule fires.
 """
 
 from __future__ import annotations
@@ -125,6 +128,45 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def _split_rule_ids(raw: str):
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis import (
+        all_rule_ids,
+        load_config,
+        render_json,
+        render_text,
+        run_lint,
+    )
+    from repro.analysis.core import REGISTRY
+
+    if args.list_rules:
+        for rule_id in all_rule_ids():
+            print(f"{rule_id}: {REGISTRY[rule_id].description}")
+        return 0
+    config = load_config(Path.cwd())
+    paths = [Path(p) for p in (args.paths or config.paths)]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        report = run_lint(
+            paths,
+            select=_split_rule_ids(args.select) if args.select else None,
+            ignore=_split_rule_ids(args.ignore) if args.ignore else None,
+            config=config,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report))
+    return 1 if report.findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Triple-Fact Retriever CLI"
@@ -165,6 +207,31 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run OIE + Algorithm 1 on raw text")
     demo.add_argument("text")
     demo.set_defaults(func=cmd_demo)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo static analyzer (repro.analysis)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: [tool.repro.lint] paths)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

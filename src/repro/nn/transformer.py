@@ -76,7 +76,7 @@ class TransformerEncoder(Module):
     ):
         super().__init__()
         rng = np.random.RandomState(seed)
-        ffn_dim = ffn_dim or dim * 4
+        ffn_dim = ffn_dim if ffn_dim is not None else dim * 4
         self.dim = dim
         self.max_len = max_len
         self.pad_id = pad_id

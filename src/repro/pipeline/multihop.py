@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.oie.triple import Triple
 from repro.retriever.single import RetrievedDocument, SingleRetriever
+from repro.retriever.strategies import l2_normalize_rows, l2_normalize_vec
 from repro.updater.question import compose_updated_question
 from repro.updater.updater import QuestionUpdater
 
@@ -142,12 +143,9 @@ class MultiHopRetriever:
         hop2_matrix = np.tile(question_vec, (len(hop1_results), 1))
         if clue_texts:
             clue_matrix = self.retriever.encode_questions(clue_texts)
-            norm_q = np.linalg.norm(question_vec) or 1.0
-            norms_c = np.linalg.norm(clue_matrix, axis=1, keepdims=True)
-            norms_c[norms_c == 0] = 1.0
             hop2_matrix[clue_rows] = (
-                question_vec / norm_q
-                + cfg.clue_weight * clue_matrix / norms_c
+                l2_normalize_vec(question_vec)
+                + cfg.clue_weight * l2_normalize_rows(clue_matrix)
             )
         # one Q×T matmul covers every hop-1 candidate's second hop
         hop2_lists = (

@@ -26,6 +26,7 @@ from repro.data.hotpot import HotpotQuestion
 from repro.nn.layers import Linear
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
+from repro.perf import COUNTERS
 from repro.pipeline.multihop import DocumentPath, MultiHopRetriever
 from repro.retriever.single import SingleRetriever
 from repro.text.tokenize import tokenize
@@ -86,6 +87,7 @@ class PathRanker:
         scalars, path_text = self._scalar_features(
             question, self.retriever.encode_question(question), path
         )
+        COUNTERS.record_encode(1)
         embedding = self.retriever.encoder.encode_numpy([path_text])[0]
         return np.concatenate([embedding, scalars]), path_text
 
@@ -156,6 +158,7 @@ class PathRanker:
             )
             scalar_rows.append(scalars)
             path_texts.append(path_text)
+        COUNTERS.record_encode(len(path_texts))
         embeddings = self.retriever.encoder.encode_numpy(path_texts)
         return np.concatenate([embeddings, np.stack(scalar_rows)], axis=1)
 

@@ -32,6 +32,7 @@ from repro.retriever.strategies import (
     ScoreStrategy,
     aggregate_segments,
     cosine_matrix,
+    l2_normalize_rows,
 )
 
 
@@ -53,13 +54,6 @@ class RetrievedDocument:
             f"{self.title}: matched triple {self.matched_triple} "
             f"(score {self.score:.3f})"
         )
-
-
-def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
-    """Row-L2-normalized copy; zero rows stay zero."""
-    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-    np.maximum(norms, np.finfo(np.float64).tiny, out=norms)
-    return matrix / norms
 
 
 class SingleRetriever:
@@ -110,7 +104,7 @@ class SingleRetriever:
             self._doc_order.append(doc_id)
             self._offsets.append(start)
         self._stacked = matrix
-        self._normed = _normalize_rows(matrix)
+        self._normed = l2_normalize_rows(matrix)
         self._doc_pos = {d: i for i, d in enumerate(self._doc_order)}
         self._offsets_arr = np.asarray(self._offsets, dtype=np.int64)
 
@@ -218,7 +212,7 @@ class SingleRetriever:
         doc_ids, offsets, gather = self._candidate_layout(candidate_ids)
         if queries.shape[0] == 0 or doc_ids.size == 0 or k <= 0:
             return [[] for _ in range(queries.shape[0])]
-        queries_normed = _normalize_rows(queries)
+        queries_normed = l2_normalize_rows(queries)
         with time_block() as elapsed:
             triple_matrix = (
                 self._normed if gather is None else self._normed[gather]

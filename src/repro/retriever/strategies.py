@@ -118,6 +118,28 @@ def aggregate_segments(
     return aggregated, matched
 
 
+def l2_normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-L2-normalized copy; zero rows stay zero.
+
+    The one normalization helper cosine-score matmuls must route through
+    (enforced by the ``unnormalized-matmul`` lint rule): dividing by
+    ``max(norm, tiny)`` keeps zero rows at exactly zero without branching.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    np.maximum(norms, np.finfo(np.float64).tiny, out=norms)
+    return matrix / norms
+
+
+def l2_normalize_vec(vec: np.ndarray) -> np.ndarray:
+    """L2-normalized copy of one vector; the zero vector stays zero."""
+    vec = np.asarray(vec, dtype=np.float64)
+    norm = float(np.linalg.norm(vec))
+    if norm == 0.0:
+        return vec.copy()
+    return vec / norm
+
+
 def cosine_matrix(query_vec: np.ndarray, triple_matrix: np.ndarray,
                   eps: float = 1e-8) -> np.ndarray:
     """Cosine of one query vector against rows of ``triple_matrix``."""

@@ -26,6 +26,7 @@ from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.oie.triple import Triple
 from repro.retriever.store import TripleStore
+from repro.retriever.strategies import l2_normalize_rows, l2_normalize_vec
 from repro.text.tokenize import tokenize
 from repro.updater.golden import ground_clue_index
 from repro.updater.question import compose_updated_question
@@ -85,12 +86,9 @@ class QuestionUpdater:
         vocab = self.encoder.vocab
         weights = self.encoder._token_weights
         question_tokens = set(tokenize(question))
-        question_vec = self.encoder.encode_numpy([question])[0]
-        question_vec = question_vec / (np.linalg.norm(question_vec) or 1.0)
+        question_vec = l2_normalize_vec(self.encoder.encode_numpy([question])[0])
         triple_vecs = self.encoder.encode_numpy([t.flatten() for t in triples])
-        norms = np.linalg.norm(triple_vecs, axis=1, keepdims=True)
-        norms[norms == 0] = 1.0
-        cosines = (triple_vecs / norms) @ question_vec
+        cosines = l2_normalize_rows(triple_vecs) @ question_vec
         rows = []
         for i, triple in enumerate(triples):
             tokens = tokenize(triple.flatten())

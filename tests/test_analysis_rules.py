@@ -1,0 +1,478 @@
+"""Fixture-driven tests for the ``repro.analysis`` rule catalog.
+
+Every rule is exercised three ways: a seeded violation fires, a
+``# lint: ignore[rule-id]`` comment on the offending line suppresses it,
+and a compliant rewrite produces no finding at all. Framework behaviour
+(suppression semantics, allow-lists, config parsing, reporters, parse
+errors) gets its own targeted tests below.
+"""
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    all_rule_ids,
+    lint_file,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.analysis.config import _fallback_parse, parse_config
+from repro.analysis.core import PARSE_ERROR, REGISTRY, _resolve_rules
+
+MARKER = "##HERE##"
+
+# rule id -> (relative path, source with MARKER on the offending line).
+# Scoped rules (missing-perf-counter, unnormalized-matmul) need a hot-path
+# directory in the fixture path and a non-test filename.
+VIOLATIONS = {
+    "falsy-zero-default": (
+        "mod.py",
+        """
+        def pick(k=None):
+            k = k or 10  ##HERE##
+            return k
+        """,
+    ),
+    "mutable-default-arg": (
+        "mod.py",
+        """
+        def add(item, bucket=[]):  ##HERE##
+            bucket.append(item)
+            return bucket
+        """,
+    ),
+    "bare-except": (
+        "mod.py",
+        """
+        def guard(fn):
+            try:
+                return fn()
+            except:  ##HERE##
+                return None
+        """,
+    ),
+    "except-pass": (
+        "mod.py",
+        """
+        def guard(fn):
+            try:
+                return fn()
+            except ValueError:
+                pass  ##HERE##
+        """,
+    ),
+    "missing-perf-counter": (
+        "retriever/hot.py",
+        """
+        def refresh(encoder, texts):
+            matrix = encoder.encode_numpy(texts)  ##HERE##
+            return matrix
+        """,
+    ),
+    "legacy-path-call": (
+        "mod.py",
+        """
+        def lookup(retriever, vec):
+            return retriever.retrieve_by_vector_legacy(vec, k=3)  ##HERE##
+        """,
+    ),
+    "unnormalized-matmul": (
+        "retriever/scoring.py",
+        """
+        def rank(queries, docs):
+            scores = queries @ docs.T  ##HERE##
+            return scores
+        """,
+    ),
+    "shadowed-builtin-id": (
+        "mod.py",
+        """
+        def first(values):
+            id = values[0]  ##HERE##
+            return id
+        """,
+    ),
+    "dict-iteration-mutation": (
+        "mod.py",
+        """
+        def prune(table):
+            for key in table:
+                if key < 0:
+                    table.pop(key)  ##HERE##
+            return table
+        """,
+    ),
+}
+
+# rule id -> compliant rewrite of the same logic; must produce no finding.
+COMPLIANT = {
+    "falsy-zero-default": (
+        "mod.py",
+        """
+        def pick(k=None):
+            k = k if k is not None else 10
+            return k
+        """,
+    ),
+    "mutable-default-arg": (
+        "mod.py",
+        """
+        def add(item, bucket=None):
+            bucket = bucket if bucket is not None else []
+            bucket.append(item)
+            return bucket
+        """,
+    ),
+    "bare-except": (
+        "mod.py",
+        """
+        def guard(fn):
+            try:
+                return fn()
+            except ValueError:
+                return None
+        """,
+    ),
+    "except-pass": (
+        "mod.py",
+        """
+        def guard(fn, log):
+            try:
+                return fn()
+            except ValueError as error:
+                log(error)
+                return None
+        """,
+    ),
+    "missing-perf-counter": (
+        "retriever/hot.py",
+        """
+        from repro.perf import COUNTERS
+
+
+        def refresh(encoder, texts):
+            COUNTERS.record_encode(len(texts))
+            matrix = encoder.encode_numpy(texts)
+            return matrix
+        """,
+    ),
+    "legacy-path-call": (
+        "mod.py",
+        """
+        def lookup(retriever, vec):
+            return retriever.retrieve_by_vector(vec, k=3)
+        """,
+    ),
+    "unnormalized-matmul": (
+        "retriever/scoring.py",
+        """
+        from repro.retriever.strategies import l2_normalize_rows
+
+
+        def rank(queries, docs):
+            queries_normed = l2_normalize_rows(queries)
+            docs_normed = l2_normalize_rows(docs)
+            scores = queries_normed @ docs_normed.T
+            return scores
+        """,
+    ),
+    "shadowed-builtin-id": (
+        "mod.py",
+        """
+        def first(values):
+            first_value = values[0]
+            return first_value
+        """,
+    ),
+    "dict-iteration-mutation": (
+        "mod.py",
+        """
+        def prune(table):
+            for key in list(table):
+                if key < 0:
+                    table.pop(key)
+            return table
+        """,
+    ),
+}
+
+
+def _render(source, suppression):
+    """(source text, 1-based line of MARKER) with MARKER replaced."""
+    lines = []
+    marker_line = None
+    for index, line in enumerate(textwrap.dedent(source).strip("\n").splitlines()):
+        if MARKER in line:
+            marker_line = index + 1
+            line = line.replace(MARKER, suppression).rstrip()
+        lines.append(line)
+    return "\n".join(lines) + "\n", marker_line
+
+
+def _lint(tmp_path, rel, source, select=None, config=None):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    cfg = config if config is not None else LintConfig(root=tmp_path)
+    return run_lint([path], select=select, config=cfg)
+
+
+class TestEachRule:
+    @pytest.mark.parametrize("rule_id", sorted(VIOLATIONS))
+    def test_violation_fires(self, tmp_path, rule_id):
+        rel, raw = VIOLATIONS[rule_id]
+        source, marker_line = _render(raw, "")
+        report = _lint(tmp_path, rel, source, select=[rule_id])
+        assert [f.rule_id for f in report.findings] == [rule_id]
+        assert report.findings[0].line == marker_line
+        assert report.findings[0].message
+
+    @pytest.mark.parametrize("rule_id", sorted(VIOLATIONS))
+    def test_suppression_suppresses(self, tmp_path, rule_id):
+        rel, raw = VIOLATIONS[rule_id]
+        source, _ = _render(raw, f"# lint: ignore[{rule_id}]")
+        report = _lint(tmp_path, rel, source, select=[rule_id])
+        assert report.findings == []
+
+    @pytest.mark.parametrize("rule_id", sorted(COMPLIANT))
+    def test_compliant_rewrite_is_clean(self, tmp_path, rule_id):
+        rel, source = COMPLIANT[rule_id]
+        report = _lint(
+            tmp_path, rel, textwrap.dedent(source).strip("\n") + "\n",
+            select=[rule_id],
+        )
+        assert report.findings == []
+
+    def test_catalog_has_at_least_eight_rules(self):
+        assert len(all_rule_ids()) >= 8
+        assert set(VIOLATIONS) == set(all_rule_ids())
+
+
+class TestSuppressionSemantics:
+    def test_bare_ignore_suppresses_every_rule(self, tmp_path):
+        rel, raw = VIOLATIONS["shadowed-builtin-id"]
+        source, _ = _render(raw, "# lint: ignore")
+        report = _lint(tmp_path, rel, source)
+        assert report.findings == []
+
+    def test_ignoring_a_different_rule_does_not_suppress(self, tmp_path):
+        rel, raw = VIOLATIONS["shadowed-builtin-id"]
+        source, _ = _render(raw, "# lint: ignore[bare-except]")
+        report = _lint(tmp_path, rel, source, select=["shadowed-builtin-id"])
+        assert [f.rule_id for f in report.findings] == ["shadowed-builtin-id"]
+
+    def test_suppression_on_other_line_does_not_suppress(self, tmp_path):
+        source = (
+            "# lint: ignore[shadowed-builtin-id]\n"
+            "def first(values):\n"
+            "    id = values[0]\n"
+            "    return id\n"
+        )
+        report = _lint(tmp_path, "mod.py", source, select=["shadowed-builtin-id"])
+        assert len(report.findings) == 1
+
+
+class TestScoping:
+    def test_missing_perf_counter_only_in_hot_dirs(self, tmp_path):
+        _, raw = VIOLATIONS["missing-perf-counter"]
+        source, _ = _render(raw, "")
+        report = _lint(tmp_path, "mod.py", source, select=["missing-perf-counter"])
+        assert report.findings == []
+
+    @pytest.mark.parametrize("name", ["test_hot.py", "conftest.py"])
+    def test_scoped_rules_exempt_test_files(self, tmp_path, name):
+        _, raw = VIOLATIONS["missing-perf-counter"]
+        source, _ = _render(raw, "")
+        report = _lint(
+            tmp_path, f"retriever/{name}", source,
+            select=["missing-perf-counter"],
+        )
+        assert report.findings == []
+
+    def test_unnormalized_matmul_traces_assignments(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            from repro.retriever.strategies import l2_normalize_rows
+
+
+            def rank(queries, docs):
+                q = l2_normalize_rows(queries)
+                d = l2_normalize_rows(docs)
+                scores = q @ d.T
+                return scores
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "retriever/scoring.py", source,
+            select=["unnormalized-matmul"],
+        )
+        assert report.findings == []
+
+    def test_falsy_zero_exempts_container_annotations(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            from typing import Optional, Set
+
+
+            def subset(values, exclude: Optional[Set[int]] = None):
+                excluded = set(exclude or ())
+                return [v for v in values if v not in excluded]
+            """
+        ).strip("\n") + "\n"
+        report = _lint(tmp_path, "mod.py", source, select=["falsy-zero-default"])
+        assert report.findings == []
+
+    def test_shadowed_builtin_exempts_class_body_fields(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            from dataclasses import dataclass
+
+
+            @dataclass
+            class Edge:
+                object: str
+                type: str = "related"
+            """
+        ).strip("\n") + "\n"
+        report = _lint(tmp_path, "mod.py", source, select=["shadowed-builtin-id"])
+        assert report.findings == []
+
+
+class TestFramework:
+    def test_allow_list_exempts_matching_paths(self, tmp_path):
+        rel, raw = VIOLATIONS["legacy-path-call"]
+        source, _ = _render(raw, "")
+        allowing = LintConfig(
+            allow={"legacy-path-call": ("parity/*.py",)}, root=tmp_path
+        )
+        allowed = _lint(
+            tmp_path, "parity/check.py", source,
+            select=["legacy-path-call"], config=allowing,
+        )
+        assert allowed.findings == []
+        elsewhere = _lint(
+            tmp_path, "prod/check.py", source,
+            select=["legacy-path-call"], config=allowing,
+        )
+        assert [f.rule_id for f in elsewhere.findings] == ["legacy-path-call"]
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            _resolve_rules(["no-such-rule"], None)
+
+    def test_ignore_removes_rule(self, tmp_path):
+        rel, raw = VIOLATIONS["bare-except"]
+        source, _ = _render(raw, "")
+        report = _lint(tmp_path, rel, source, select=None, config=LintConfig(
+            ignore=("bare-except",), root=tmp_path,
+        ))
+        assert "bare-except" not in {f.rule_id for f in report.findings}
+
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n", encoding="utf-8")
+        rules = _resolve_rules(None, None)
+        findings = lint_file(path, rules, LintConfig(root=tmp_path))
+        assert [f.rule_id for f in findings] == [PARSE_ERROR]
+
+    def test_registry_descriptions_populated(self):
+        for rule_id, rule_cls in REGISTRY.items():
+            assert rule_cls.id == rule_id
+            assert rule_cls.description
+
+    def test_report_counts(self, tmp_path):
+        rel, raw = VIOLATIONS["bare-except"]
+        source, _ = _render(raw, "")
+        report = _lint(tmp_path, rel, source, select=["bare-except"])
+        assert report.counts == {"bare-except": 1}
+        assert report.files_scanned == 1
+
+
+class TestReporters:
+    def _report(self, tmp_path):
+        rel, raw = VIOLATIONS["shadowed-builtin-id"]
+        source, _ = _render(raw, "")
+        return _lint(tmp_path, rel, source, select=["shadowed-builtin-id"])
+
+    def test_text_lists_location_and_summary(self, tmp_path):
+        report = self._report(tmp_path)
+        text = render_text(report)
+        finding = report.findings[0]
+        assert finding.location() in text
+        assert "1 finding(s)" in text
+
+    def test_text_clean_summary(self):
+        from repro.analysis.core import LintReport
+
+        text = render_text(LintReport(findings=[], files_scanned=3))
+        assert text == "clean: 0 findings in 3 file(s) scanned"
+
+    def test_json_schema(self, tmp_path):
+        report = self._report(tmp_path)
+        payload = json.loads(render_json(report))
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["counts"] == {"shadowed-builtin-id": 1}
+        entry = payload["findings"][0]
+        assert set(entry) == {"rule", "path", "line", "col", "message"}
+
+
+class TestConfig:
+    SAMPLE = textwrap.dedent(
+        """
+        [tool.other]
+        noise = ["x"]
+
+        [tool.repro.lint]
+        paths = ["src", "tests"]
+        ignore = ["bare-except"]
+
+        [tool.repro.lint.allow]
+        legacy-path-call = [
+            "tests/test_retriever_vectorized.py",
+            "benchmarks/test_retrieval_throughput.py",
+        ]
+        """
+    ).strip("\n")
+
+    def test_parse_config(self, tmp_path):
+        config = parse_config(self.SAMPLE, root=tmp_path)
+        assert config.paths == ("src", "tests")
+        assert config.ignore == ("bare-except",)
+        assert config.allow["legacy-path-call"] == (
+            "tests/test_retriever_vectorized.py",
+            "benchmarks/test_retrieval_throughput.py",
+        )
+        assert config.root == tmp_path
+
+    def test_fallback_parser_matches_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        data = tomllib.loads(self.SAMPLE)
+        tables = _fallback_parse(self.SAMPLE)
+        lint_table = data["tool"]["repro"]["lint"]
+        assert tables["tool.repro.lint"]["paths"] == tuple(lint_table["paths"])
+        assert tables["tool.repro.lint"]["ignore"] == tuple(lint_table["ignore"])
+        assert tables["tool.repro.lint.allow"]["legacy-path-call"] == tuple(
+            lint_table["allow"]["legacy-path-call"]
+        )
+
+    def test_repo_pyproject_parses_with_fallback(self):
+        repo_root = Path(__file__).resolve().parents[1]
+        text = (repo_root / "pyproject.toml").read_text(encoding="utf-8")
+        tables = _fallback_parse(text)
+        assert "tool.repro.lint" in tables
+        assert "legacy-path-call" in tables["tool.repro.lint.allow"]
+
+    def test_fixture_sources_parse(self):
+        # guard the fixtures themselves: a typo here would silently test
+        # nothing (a parse-error finding instead of the rule's own)
+        for table in (VIOLATIONS, COMPLIANT):
+            for rule_id, (_, raw) in table.items():
+                source, _ = _render(raw, "")
+                ast.parse(source, filename=rule_id)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, cmd_demo, main
@@ -13,6 +15,7 @@ class TestParser:
             ["query", "--model", "m", "question?"],
             ["eval", "--model", "m"],
             ["demo", "some text"],
+            ["lint", "src"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -36,3 +39,73 @@ class TestDemo:
         assert "union extraction" in out
         assert "constructed T_d" in out
         assert "Walter Davis" in out
+
+
+CLEAN_SOURCE = 'GREETING = "hello"\n'
+
+# one seeded falsy-zero-default violation (the PR-1 bug class)
+VIOLATING_SOURCE = "def pick(k=None):\n    k = k or 10\n    return k\n"
+
+
+class TestLint:
+    def _write(self, tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(source, encoding="utf-8")
+        return path
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, CLEAN_SOURCE)
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "clean: 0 findings" in out
+
+    def test_seeded_violation_exits_one(self, tmp_path, capsys):
+        path = self._write(tmp_path, VIOLATING_SOURCE)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "falsy-zero-default" in out
+        assert "1 finding(s)" in out
+
+    def test_json_format_schema(self, tmp_path, capsys):
+        path = self._write(tmp_path, VIOLATING_SOURCE)
+        assert main(["lint", "--format", "json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["counts"] == {"falsy-zero-default": 1}
+        entry = payload["findings"][0]
+        assert set(entry) == {"rule", "path", "line", "col", "message"}
+        assert entry["rule"] == "falsy-zero-default"
+        assert entry["line"] == 2
+
+    def test_select_runs_only_named_rules(self, tmp_path, capsys):
+        path = self._write(tmp_path, VIOLATING_SOURCE)
+        assert main(["lint", "--select", "bare-except", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_ignore_drops_named_rules(self, tmp_path, capsys):
+        path = self._write(tmp_path, VIOLATING_SOURCE)
+        exit_code = main(
+            ["lint", "--ignore", "falsy-zero-default", str(path)]
+        )
+        assert exit_code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = self._write(tmp_path, CLEAN_SOURCE)
+        assert main(["lint", "--select", "no-such-rule", str(path)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) >= 8
+        assert any(line.startswith("falsy-zero-default:") for line in out)
+
+    def test_lint_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == [] and args.format == "text"

@@ -1,0 +1,29 @@
+"""Tier-1 gate: the repository's own tree lints clean.
+
+Runs the full rule catalog (as configured by ``[tool.repro.lint]`` in
+``pyproject.toml``) over ``src``, ``tests`` and ``benchmarks``. A failure
+here means a rule caught a real regression of one of our recorded bug
+classes — fix the code (or, with a written justification, add a
+``# lint: ignore[rule-id]`` on the offending line); never weaken the rule.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_config, render_text, run_lint
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_repository_lints_clean():
+    config = load_config(REPO_ROOT)
+    paths = [REPO_ROOT / p for p in config.paths]
+    existing = [p for p in paths if p.exists()]
+    assert existing, f"configured lint paths missing: {config.paths}"
+    report = run_lint(existing, config=config)
+    assert not report.findings, "\n" + render_text(report)
+    # sanity: the walk actually covered the tree (not an empty glob)
+    assert report.files_scanned > 50
