@@ -1,0 +1,190 @@
+"""Micro-benchmark: micro-batched serving vs per-request serving.
+
+Stands up :class:`repro.serve.RetrievalService` twice over the *same*
+retriever — once with ``max_batch_size=1`` (every request pays a full
+encoder forward + scoring matmul alone) and once with dynamic
+micro-batching — and replays the same query set from 8 client threads
+against both. The encoder is a real (untrained) MiniBERT, not the
+hashing stub: micro-batching's win comes from amortizing the per-forward
+Python/numpy overhead of encoding across the coalesced batch, so the
+served path must include encoding for the comparison to mean anything.
+The cache is disabled in both runs — this measures batching, not
+memoization.
+
+Writes ``BENCH_serve.json`` next to this file. Marked ``perf`` +
+``serve``; tier-1 (``testpaths = tests``) never collects it.
+"""
+
+import json
+import random
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import Corpus, Document
+from repro.data.world import Entity
+from repro.encoder.minibert import EncoderConfig, MiniBertEncoder
+from repro.oie.triple import Triple
+from repro.retriever.single import SingleRetriever
+from repro.retriever.store import TripleStore
+from repro.serve import RetrievalService, ServiceConfig
+from repro.text.tokenize import tokenize
+from repro.text.vocab import Vocab
+
+pytestmark = [pytest.mark.perf, pytest.mark.serve]
+
+N_DOCS = 120
+TRIPLES_PER_DOC = 4
+N_QUERIES = 48
+N_THREADS = 8
+K = 5
+DIM = 32
+N_LAYERS = 2
+OUT_PATH = Path(__file__).parent / "BENCH_serve.json"
+
+
+@pytest.fixture(scope="module")
+def bench_setup():
+    rng = np.random.RandomState(29)
+    words = [f"word{i}" for i in range(300)]
+    documents = []
+    rows = {}
+    for doc_id in range(N_DOCS):
+        title = f"Doc {doc_id}"
+        triples = [
+            Triple(
+                subject=title,
+                predicate=words[rng.randint(len(words))],
+                object=" ".join(
+                    words[rng.randint(len(words))] for _ in range(3)
+                ),
+            )
+            for _ in range(TRIPLES_PER_DOC)
+        ]
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                title=title,
+                text=" ".join(t.flatten() for t in triples),
+                entity=Entity(uid=doc_id, name=title, kind="synthetic"),
+            )
+        )
+        rows[doc_id] = triples
+    corpus = Corpus(documents)
+    store = TripleStore(corpus)
+    for doc_id, triples in rows.items():
+        store.put(doc_id, triples)
+    queries = [
+        "what is "
+        + " ".join(words[rng.randint(len(words))] for _ in range(4))
+        + " ?"
+        for _ in range(N_QUERIES)
+    ]
+    vocab = Vocab.from_texts(
+        [d.text for d in documents] + queries, tokenize
+    )
+    encoder = MiniBertEncoder(
+        vocab,
+        EncoderConfig(
+            dim=DIM,
+            n_layers=N_LAYERS,
+            n_heads=4,
+            max_len=24,
+            residual_scale=0.05,
+        ),
+    )
+    encoder.fit_idf([store.field_text(d.doc_id) for d in documents])
+    retriever = SingleRetriever(encoder, store)
+    retriever.refresh_embeddings()
+    return retriever, queries
+
+
+def _replay(service, queries):
+    """Replay the query set from N_THREADS client threads; (elapsed, errors)."""
+    errors = []
+
+    def client(seed):
+        order = list(queries)
+        random.Random(seed).shuffle(order)
+        for question in order:
+            try:
+                service.retrieve(question, k=K, timeout=300)
+            except Exception as error:  # recorded; bench asserts none below
+                errors.append(repr(error))
+
+    threads = [
+        threading.Thread(target=client, args=(seed,))
+        for seed in range(N_THREADS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start, errors
+
+
+def test_micro_batching_speedup(bench_setup):
+    retriever, queries = bench_setup
+    total = N_THREADS * len(queries)
+    common = dict(max_pending=total, cache_size=0, default_k=K)
+
+    sequential_cfg = ServiceConfig(
+        max_batch_size=1, max_wait_ms=0.0, **common
+    )
+    # closed-loop clients cap in-flight requests at N_THREADS, so size the
+    # batch to that: the flush-on-size path fires as soon as every client
+    # has a request queued, instead of idling out the wait window hoping
+    # for a 9th request that cannot arrive
+    batched_cfg = ServiceConfig(
+        max_batch_size=N_THREADS, max_wait_ms=2.0, **common
+    )
+
+    with RetrievalService(retriever, config=sequential_cfg) as service:
+        sequential_s, errors = _replay(service, queries)
+        assert errors == []
+        sequential_snap = service.stats_snapshot()
+
+    with RetrievalService(retriever, config=batched_cfg) as service:
+        batched_s, errors = _replay(service, queries)
+        assert errors == []
+        batched_snap = service.stats_snapshot()
+
+    assert sequential_snap["completed"] == total
+    assert batched_snap["completed"] == total
+    assert sequential_snap["mean_batch_size"] == 1.0
+    assert batched_snap["mean_batch_size"] > 1.0, (
+        "micro-batcher never coalesced; the comparison is meaningless"
+    )
+
+    sequential_qps = total / sequential_s
+    batched_qps = total / batched_s
+    speedup = batched_qps / sequential_qps
+
+    payload = {
+        "n_docs": N_DOCS,
+        "n_queries": len(queries),
+        "client_threads": N_THREADS,
+        "k": K,
+        "dim": DIM,
+        "sequential_seconds": sequential_s,
+        "batched_seconds": batched_s,
+        "sequential_qps": sequential_qps,
+        "batched_qps": batched_qps,
+        "speedup": speedup,
+        "sequential_latency_ms": sequential_snap["latency_ms"],
+        "batched_latency_ms": batched_snap["latency_ms"],
+        "batched_mean_batch_size": batched_snap["mean_batch_size"],
+        "batched_batch_size_histogram": batched_snap["batch_size_histogram"],
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2))
+    print(
+        f"\nserve throughput: sequential {sequential_qps:.0f} qps, "
+        f"micro-batched {batched_qps:.0f} qps ({speedup:.1f}x, "
+        f"mean batch {batched_snap['mean_batch_size']:.1f})"
+    )
+    # the acceptance bar from the serving issue: coalescing buys >= 3x
+    assert speedup >= 3.0, payload

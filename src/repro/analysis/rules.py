@@ -17,6 +17,8 @@ from repro.analysis.core import FileContext, Finding, Rule, register
 # directories that hold retrieval hot paths (scoped rules below)
 HOT_PATH_DIRS = frozenset({"retriever", "pipeline", "baselines"})
 COSINE_DIRS = HOT_PATH_DIRS | {"updater"}
+# directories where durations/deadlines are measured (wall-clock-timing)
+TIMING_DIRS = frozenset({"serve", "perf", "benchmarks"})
 
 _SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
 
@@ -549,6 +551,73 @@ class ShadowedBuiltin(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in getattr(ctx.tree, "body", []):
             yield from self._visit(ctx, node, False)
+
+
+# ---------------------------------------------------------------------------
+# wall-clock-timing
+# ---------------------------------------------------------------------------
+
+
+@register
+class WallClockTiming(Rule):
+    """Timing/deadline code must not read the wall clock.
+
+    ``time.time()`` jumps with NTP slews and DST; a duration measured
+    across a step can come out negative, and a deadline computed from it
+    can fire early or never. The serving layer and every benchmark
+    measure with ``time.perf_counter()`` (durations) or
+    ``time.monotonic()`` (deadlines, injectable clocks). This rule
+    covers *all* files in the timing directories — including benchmark
+    test files, which are exactly where sloppy timing sneaks in.
+    """
+
+    id = "wall-clock-timing"
+    description = (
+        "time.time() in timing-sensitive code; use perf_counter/monotonic"
+    )
+    _MESSAGE = (
+        "time.time() is wall-clock (jumps with NTP/DST); measure "
+        "durations with time.perf_counter() and deadlines with "
+        "time.monotonic()"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # deliberately no test-file exemption: benchmarks/test_*.py are
+        # the heaviest timing users
+        return bool(ctx.dir_parts & TIMING_DIRS)
+
+    def _aliases(self, tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+        """(names bound to the time module, names bound to time.time)."""
+        modules: Set[str] = set()
+        functions: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        modules.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        functions.add(alias.asname or "time")
+        return modules, functions
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        modules, functions = self._aliases(ctx.tree)
+        if not modules and not functions:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in modules
+            ):
+                yield self.finding(ctx, node, self._MESSAGE)
+            elif isinstance(func, ast.Name) and func.id in functions:
+                yield self.finding(ctx, node, self._MESSAGE)
 
 
 # ---------------------------------------------------------------------------

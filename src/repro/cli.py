@@ -4,21 +4,27 @@ Subcommands::
 
     python -m repro.cli build  --out model_dir [--persons 70 ...]
     python -m repro.cli query  --model model_dir "When was the club ... ?"
+    python -m repro.cli query  --model model_dir --batch queries.txt
     python -m repro.cli eval   --model model_dir [--n 100]
     python -m repro.cli demo   "a sentence or two of text"   # OIE + Alg.1
     python -m repro.cli lint   [paths ...] [--format json] [--select ...]
+    python -m repro.cli serve-bench --model model_dir [--threads 8 ...]
 
 ``build`` trains the full system on a freshly generated world and saves it
 (plus the world seed, so ``query``/``eval`` can rebuild the same corpus).
 ``lint`` runs the repo's own static analyzer (``repro.analysis``) and
-exits non-zero when any rule fires.
+exits non-zero when any rule fires. ``serve-bench`` stands up the
+in-process :mod:`repro.serve` service and replays a query file from many
+client threads, reporting throughput / latency / batching / cache stats.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
+import threading
 from pathlib import Path
 
 from repro.data.documents import build_corpus
@@ -81,12 +87,38 @@ def cmd_build(args) -> int:
     return 0
 
 
+def _read_query_file(path: Path):
+    """Non-empty stripped lines of a query file (one question per line)."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    return [line.strip() for line in lines if line.strip()]
+
+
 def cmd_query(args) -> int:
+    if (args.question is None) == (args.batch is None):
+        print(
+            "error: provide exactly one of a question or --batch FILE",
+            file=sys.stderr,
+        )
+        return 2
     system, _world, _corpus, _dataset = _rebuild(Path(args.model))
     COUNTERS.reset()
-    for path in system.retrieve_paths(args.question, k=args.k):
-        print(path.explain())
-        print()
+    if args.batch is not None:
+        questions = _read_query_file(Path(args.batch))
+        if not questions:
+            print(f"error: no queries in {args.batch}", file=sys.stderr)
+            return 2
+        # one bulk retrieve_paths_batch call: encoding and both hops
+        # amortize over the whole file instead of running per question
+        path_lists = system.retrieve_paths_many(questions, k=args.k)
+        for question, paths in zip(questions, path_lists):
+            print(f"=== {question}")
+            for path in paths:
+                print(path.explain())
+                print()
+    else:
+        for path in system.retrieve_paths(args.question, k=args.k):
+            print(path.explain())
+            print()
     if args.stats:
         print(COUNTERS.summary())
     return 0
@@ -167,6 +199,70 @@ def cmd_lint(args) -> int:
     return 1 if report.findings else 0
 
 
+def cmd_serve_bench(args) -> int:
+    from repro.serve import RetrievalService, ServiceConfig
+
+    system, _world, _corpus, dataset = _rebuild(Path(args.model))
+    if args.queries is not None:
+        questions = _read_query_file(Path(args.queries))
+    else:
+        questions = [q.text for q in dataset.test[: args.n]]
+    if not questions:
+        print("error: no queries to replay", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.wait_ms,
+        max_pending=max(64, args.threads * len(questions)),
+        workers=args.workers,
+        cache_size=args.cache_size,
+        default_k=args.k,
+    )
+    service = RetrievalService(
+        system.retriever, multihop=system.multihop, config=config
+    )
+    errors = []
+
+    def client(seed: int) -> None:
+        order = list(questions)
+        random.Random(seed).shuffle(order)
+        for question in order:
+            try:
+                if args.mode == "paths":
+                    service.retrieve_paths(question, k=args.k, timeout=300)
+                else:
+                    service.retrieve(question, k=args.k, timeout=300)
+            except Exception as error:  # bench keeps replaying; reported below
+                errors.append(repr(error))
+
+    with service:
+        clients = [
+            threading.Thread(target=client, args=(seed,))
+            for seed in range(args.threads)
+        ]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        snapshot = service.stats_snapshot()
+        summary = service.stats_summary()
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(
+            f"replayed {len(questions)} queries x {args.threads} client "
+            f"thread(s), mode={args.mode}, k={args.k}"
+        )
+        print(summary)
+    if errors:
+        print(
+            f"{len(errors)} request error(s); first: {errors[0]}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Triple-Fact Retriever CLI"
@@ -192,7 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print retrieval perf counters (encodes, matmul time)",
     )
-    query.add_argument("question")
+    query.add_argument(
+        "--batch", default=None, metavar="FILE",
+        help="file with one question per line; answered in one bulk "
+        "retrieval call (mutually exclusive with a positional question)",
+    )
+    query.add_argument("question", nargs="?", default=None)
     query.set_defaults(func=cmd_query)
 
     evaluate = sub.add_parser("eval", help="evaluate path PEM@8 on the test set")
@@ -232,6 +333,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
     lint.set_defaults(func=cmd_lint)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="replay queries through repro.serve from N client threads",
+    )
+    serve_bench.add_argument("--model", required=True)
+    serve_bench.add_argument(
+        "--queries", default=None, metavar="FILE",
+        help="query file, one question per line "
+        "(default: the model's own test questions)",
+    )
+    serve_bench.add_argument(
+        "--n", type=int, default=32,
+        help="test questions to use when --queries is not given",
+    )
+    serve_bench.add_argument("--threads", type=int, default=8,
+                             help="client threads replaying the queries")
+    serve_bench.add_argument("--k", type=int, default=3)
+    serve_bench.add_argument(
+        "--mode", choices=("single", "paths"), default="single",
+        help="single-hop document retrieval or multi-hop path retrieval",
+    )
+    serve_bench.add_argument("--batch-size", type=int, default=16,
+                             help="micro-batch flush size")
+    serve_bench.add_argument("--wait-ms", type=float, default=2.0,
+                             help="micro-batch window in milliseconds")
+    serve_bench.add_argument("--workers", type=int, default=1,
+                             help="service worker threads")
+    serve_bench.add_argument("--cache-size", type=int, default=1024,
+                             help="result cache capacity (0 disables)")
+    serve_bench.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stats output format",
+    )
+    serve_bench.set_defaults(func=cmd_serve_bench)
     return parser
 
 

@@ -1,5 +1,17 @@
 """Lightweight performance instrumentation for the retrieval hot path."""
 
-from repro.perf.counters import COUNTERS, PerfCounters, time_block
+from repro.perf.counters import (
+    COUNTERS,
+    LatencyReservoir,
+    PerfCounters,
+    percentile,
+    time_block,
+)
 
-__all__ = ["COUNTERS", "PerfCounters", "time_block"]
+__all__ = [
+    "COUNTERS",
+    "LatencyReservoir",
+    "PerfCounters",
+    "percentile",
+    "time_block",
+]

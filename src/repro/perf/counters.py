@@ -1,4 +1,4 @@
-"""Process-wide retrieval performance counters.
+"""Process-wide retrieval performance instrumentation.
 
 The vectorized retrieval path collapses per-document Python loops into a
 handful of matmuls, which makes the speedup easy to claim and hard to
@@ -6,21 +6,34 @@ handful of matmuls, which makes the speedup easy to claim and hard to
 matmul wall-clock, documents/triples scored — in one mutable counter
 object that the retrievers increment and the CLI / benchmarks print.
 
-Counting costs a few attribute increments per retrieval call; there is no
-locking (CPython increments on the hot path are effectively atomic and the
-counters are diagnostics, not accounting).
+Counters are guarded by a lock: the serving layer (``repro.serve``)
+drives retrieval from multiple worker threads, and ``float`` accumulation
+(``matmul_seconds``) is a read-modify-write that *does* lose updates under
+contention, unlike plain int increments. The lock is uncontended on the
+single-threaded paths and costs nanoseconds next to a matmul.
+
+:class:`LatencyReservoir` is the shared percentile primitive: a bounded
+window of ``perf_counter`` durations that the service stats turn into
+p50/p95/p99 summaries.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
 class PerfCounters:
-    """Cumulative counters for one process (reset explicitly)."""
+    """Cumulative counters for one process (reset explicitly).
+
+    Thread-safe: every mutation and read-out happens under one lock, so
+    concurrent service workers never lose increments and ``snapshot()``
+    is always internally consistent.
+    """
 
     encode_calls: int = 0  # encoder forward batches
     texts_encoded: int = 0  # total sentences through the encoder
@@ -30,48 +43,119 @@ class PerfCounters:
     docs_scored: int = 0  # (query, document) score pairs produced
     triples_scored: int = 0  # (query, triple) score pairs produced
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record_encode(self, n_texts: int) -> None:
-        self.encode_calls += 1
-        self.texts_encoded += n_texts
+        with self._lock:
+            self.encode_calls += 1
+            self.texts_encoded += n_texts
 
     def record_scoring(
         self, n_queries: int, n_docs: int, n_triples: int, seconds: float
     ) -> None:
-        self.matmul_calls += 1
-        self.matmul_seconds += seconds
-        self.queries += n_queries
-        self.docs_scored += n_queries * n_docs
-        self.triples_scored += n_queries * n_triples
+        with self._lock:
+            self.matmul_calls += 1
+            self.matmul_seconds += seconds
+            self.queries += n_queries
+            self.docs_scored += n_queries * n_docs
+            self.triples_scored += n_queries * n_triples
 
     def reset(self) -> None:
-        for f in fields(self):
-            setattr(self, f.name, type(getattr(self, f.name))())
+        with self._lock:
+            for f in fields(self):
+                setattr(self, f.name, type(getattr(self, f.name))())
 
     def snapshot(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        with self._lock:
+            return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def summary(self) -> str:
         """One human-readable block (CLI ``--stats`` output)."""
+        snap = self.snapshot()
         per_query = (
-            self.matmul_seconds / self.queries * 1e3 if self.queries else 0.0
+            snap["matmul_seconds"] / snap["queries"] * 1e3
+            if snap["queries"]
+            else 0.0
         )
         return "\n".join(
             [
                 "perf counters:",
-                f"  encode calls:    {self.encode_calls}"
-                f" ({self.texts_encoded} texts)",
-                f"  scoring matmuls: {self.matmul_calls}"
-                f" ({self.matmul_seconds * 1e3:.1f} ms total,"
+                f"  encode calls:    {snap['encode_calls']}"
+                f" ({snap['texts_encoded']} texts)",
+                f"  scoring matmuls: {snap['matmul_calls']}"
+                f" ({snap['matmul_seconds'] * 1e3:.1f} ms total,"
                 f" {per_query:.3f} ms/query)",
-                f"  queries scored:  {self.queries}",
-                f"  docs scored:     {self.docs_scored}",
-                f"  triples scored:  {self.triples_scored}",
+                f"  queries scored:  {snap['queries']}",
+                f"  docs scored:     {snap['docs_scored']}",
+                f"  triples scored:  {snap['triples_scored']}",
             ]
         )
 
 
 #: The process-wide counter instance the retrievers increment.
 COUNTERS = PerfCounters()
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample list.
+
+    ``q`` in [0, 100]. Empty input returns 0.0 so stats snapshots stay
+    total without special-casing an idle service.
+    """
+    if not sorted_samples:
+        return 0.0
+    if q <= 0:
+        return float(sorted_samples[0])
+    rank = max(1, -(-len(sorted_samples) * q // 100))  # ceil, nearest-rank
+    return float(sorted_samples[min(int(rank) - 1, len(sorted_samples) - 1)])
+
+
+class LatencyReservoir:
+    """Bounded, thread-safe window of duration samples (seconds).
+
+    Keeps the most recent ``capacity`` samples in a ring; percentiles are
+    computed over that window. Bounded so a long-lived service cannot
+    grow without limit, recent-biased so the numbers track current load.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self._samples: List[float] = []
+        self._cursor = 0  # ring write position once full
+        self._count = 0  # total ever recorded
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._count += 1
+            if len(self._samples) < self.capacity:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._cursor] = seconds
+                self._cursor = (self._cursor + 1) % self.capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    @property
+    def total_recorded(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentiles(
+        self, qs: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> Dict[str, float]:
+        """``{"p50": ..., ...}`` plus mean/max over the current window."""
+        with self._lock:
+            window = sorted(self._samples)
+        out = {f"p{q:g}": percentile(window, q) for q in qs}
+        out["mean"] = sum(window) / len(window) if window else 0.0
+        out["max"] = window[-1] if window else 0.0
+        return out
 
 
 class _Timer:

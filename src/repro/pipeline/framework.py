@@ -137,6 +137,30 @@ class TripleFactRetrieval:
             return self.ranker.rerank(question, paths, k=k)
         return paths[:k]
 
+    def retrieve_paths_many(
+        self, questions: Sequence[str], k: int = 8, rerank: bool = True
+    ) -> List[List[DocumentPath]]:
+        """Multi-hop path retrieval for a batch of questions.
+
+        Routes through :meth:`MultiHopRetriever.retrieve_paths_batch` so
+        encoding and both hops amortize over the whole batch — the same
+        bulk path ``repro query --batch`` and ``repro.serve`` exercise.
+        """
+        self._require_fit()
+        questions = list(questions)
+        if not questions:
+            return []
+        n_candidates = k * 4 if (rerank and self.ranker is not None) else k
+        path_lists = self.multihop.retrieve_paths_batch(
+            questions, k_paths=n_candidates
+        )
+        if rerank and self.ranker is not None:
+            return [
+                self.ranker.rerank(question, paths, k=k)
+                for question, paths in zip(questions, path_lists)
+            ]
+        return [paths[:k] for paths in path_lists]
+
     # -- persistence ----------------------------------------------------------
     def save(self, directory: Union[str, Path]) -> None:
         """Persist the trained system (encoder, heads, triple store).

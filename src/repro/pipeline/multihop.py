@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.oie.triple import Triple
 from repro.retriever.single import RetrievedDocument, SingleRetriever
-from repro.retriever.strategies import l2_normalize_rows, l2_normalize_vec
+from repro.retriever.strategies import l2_normalize_rows
 from repro.updater.question import compose_updated_question
 from repro.updater.updater import QuestionUpdater
 
@@ -111,48 +111,116 @@ class MultiHopRetriever:
         Hop 2 is batched: clue texts for the whole hop-1 beam are encoded
         in one encoder pass and all hop-2 queries run as a single
         :meth:`SingleRetriever.retrieve_batch` matmul instead of
-        ``k_hop1`` sequential retrievals.
+        ``k_hop1`` sequential retrievals. A single question is just a
+        batch of one — see :meth:`retrieve_paths_batch`.
+        """
+        return self.retrieve_paths_batch([question], k_paths=k_paths)[0]
+
+    def retrieve_paths_batch(
+        self, questions: Sequence[str], k_paths: Optional[int] = None
+    ) -> List[List[DocumentPath]]:
+        """Path retrieval for many questions with batch-amortized stages.
+
+        The serving layer's substrate: all questions encode in one pass,
+        hop 1 runs as one :meth:`SingleRetriever.retrieve_batch` matmul,
+        every clue text across every question encodes as one batch, and
+        the hop-2 queries of *all* questions run as one further
+        ``retrieve_batch`` call. Per-question results are identical to
+        :meth:`retrieve_paths` up to encoder batch-padding float jitter
+        (~1e-16); with a batch-invariant encoder they are exact.
         """
         cfg = self.config
         if k_paths is None:
             k_paths = cfg.k_paths
-        if k_paths <= 0:
+        questions = list(questions)
+        if not questions:
             return []
-        question_vec = self.retriever.encode_question(question)
-        hop1_results = self.retriever.retrieve_by_vector(
-            question_vec, k=cfg.k_hop1
+        if k_paths <= 0:
+            return [[] for _ in questions]
+        question_matrix = self.retriever.encode_questions(questions)
+        hop1_lists = self.retriever.retrieve_batch(
+            question_matrix, k=cfg.k_hop1
         )
-        # select all clues first so their texts encode as one batch
-        clues: List[Optional[Triple]] = []
-        updated_questions: List[str] = []
+        # select every (question, hop-1 candidate) clue first so all clue
+        # texts across the whole batch encode as one encoder pass
+        clues_per_q: List[List[Optional[Triple]]] = []
+        updated_per_q: List[List[str]] = []
         clue_texts: List[str] = []
-        clue_rows: List[int] = []
-        for row, hop1 in enumerate(hop1_results):
-            triples = self.retriever.store.triples(hop1.doc_id)
-            selected = self.updater.select_clue(question, triples)
-            clue = selected[1] if selected else None
-            clues.append(clue)
-            if clue is None:
-                updated_questions.append(question)
-            else:
-                updated_questions.append(
-                    compose_updated_question(question, clue)
-                )
-                clue_texts.append(self._clue_text(question, clue))
-                clue_rows.append(row)
-        hop2_matrix = np.tile(question_vec, (len(hop1_results), 1))
+        clue_rows: List[int] = []  # global hop-2 row indices
+        clue_sources: List[int] = []  # question index per clue row
+        blocks: List[np.ndarray] = []
+        cursor = 0
+        for qi, (question, hop1_results) in enumerate(
+            zip(questions, hop1_lists)
+        ):
+            blocks.append(
+                np.tile(question_matrix[qi], (len(hop1_results), 1))
+            )
+            clues: List[Optional[Triple]] = []
+            updated_questions: List[str] = []
+            for row, hop1 in enumerate(hop1_results):
+                triples = self.retriever.store.triples(hop1.doc_id)
+                selected = self.updater.select_clue(question, triples)
+                clue = selected[1] if selected else None
+                clues.append(clue)
+                if clue is None:
+                    updated_questions.append(question)
+                else:
+                    updated_questions.append(
+                        compose_updated_question(question, clue)
+                    )
+                    clue_texts.append(self._clue_text(question, clue))
+                    clue_rows.append(cursor + row)
+                    clue_sources.append(qi)
+            clues_per_q.append(clues)
+            updated_per_q.append(updated_questions)
+            cursor += len(hop1_results)
+        hop2_matrix = (
+            np.concatenate(blocks)
+            if cursor
+            else np.zeros((0, question_matrix.shape[1]))
+        )
         if clue_texts:
             clue_matrix = self.retriever.encode_questions(clue_texts)
+            questions_normed = l2_normalize_rows(question_matrix)
             hop2_matrix[clue_rows] = (
-                l2_normalize_vec(question_vec)
+                questions_normed[clue_sources]
                 + cfg.clue_weight * l2_normalize_rows(clue_matrix)
             )
-        # one Q×T matmul covers every hop-1 candidate's second hop
+        # one Q×T matmul covers every question's every second hop
         hop2_lists = (
             self.retriever.retrieve_batch(hop2_matrix, k=cfg.k_hop2 + 1)
-            if len(hop1_results)
+            if cursor
             else []
         )
+        out: List[List[DocumentPath]] = []
+        start = 0
+        for hop1_results, clues, updated_questions in zip(
+            hop1_lists, clues_per_q, updated_per_q
+        ):
+            stop = start + len(hop1_results)
+            out.append(
+                self._assemble_paths(
+                    hop1_results,
+                    clues,
+                    updated_questions,
+                    hop2_lists[start:stop],
+                    k_paths,
+                )
+            )
+            start = stop
+        return out
+
+    def _assemble_paths(
+        self,
+        hop1_results: Sequence[RetrievedDocument],
+        clues: Sequence[Optional[Triple]],
+        updated_questions: Sequence[str],
+        hop2_lists: Sequence[List[RetrievedDocument]],
+        k_paths: int,
+    ) -> List[DocumentPath]:
+        """Combine one question's hop results into ranked paths (Eq. 8)."""
+        cfg = self.config
         paths: List[DocumentPath] = []
         seen = set()
         for hop1, clue, updated, hop2_results in zip(

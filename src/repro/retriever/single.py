@@ -191,6 +191,31 @@ class SingleRetriever:
             keep_triple_scores=keep_triple_scores,
         )[0]
 
+    def retrieve_many(
+        self,
+        questions: Sequence[str],
+        k: int = 10,
+        strategy: Optional[ScoreStrategy] = None,
+        candidate_ids: Optional[Sequence[int]] = None,
+        keep_triple_scores: bool = False,
+    ) -> List[List[RetrievedDocument]]:
+        """Top-k documents for a batch of question *texts*.
+
+        The bulk text entry point shared by ``repro query --batch`` and
+        the serving layer's micro-batcher: one encoder pass over all
+        questions (:meth:`encode_questions`), then one
+        :meth:`retrieve_batch` matmul.
+        """
+        if not questions:
+            return []
+        return self.retrieve_batch(
+            self.encode_questions(questions),
+            k=k,
+            strategy=strategy,
+            candidate_ids=candidate_ids,
+            keep_triple_scores=keep_triple_scores,
+        )
+
     def retrieve_batch(
         self,
         query_matrix: np.ndarray,

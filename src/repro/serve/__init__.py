@@ -1,0 +1,42 @@
+"""Concurrent retrieval serving: micro-batching, caching, backpressure.
+
+The production-facing layer over the vectorized retrievers::
+
+    from repro.serve import RetrievalService, ServiceConfig
+
+    with RetrievalService(retriever, multihop=multihop) as service:
+        docs = service.retrieve("who founded Millwall ?", k=5)
+        paths = service.retrieve_paths("where was the founder born ?")
+        print(service.stats_summary())
+
+See ``repro serve-bench`` for a CLI harness that replays a query file
+from many client threads and reports throughput/latency/cache stats.
+"""
+
+from repro.serve.batching import BatchQueue, PendingRequest
+from repro.serve.cache import MISS, CacheStats, ResultCache, query_cache_key
+from repro.serve.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ServeError,
+    ServiceStopped,
+)
+from repro.serve.service import MODES, RetrievalService, ServiceConfig
+from repro.serve.stats import ServiceStats
+
+__all__ = [
+    "BatchQueue",
+    "CacheStats",
+    "DeadlineExceeded",
+    "MISS",
+    "MODES",
+    "Overloaded",
+    "PendingRequest",
+    "ResultCache",
+    "RetrievalService",
+    "ServeError",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServiceStopped",
+    "query_cache_key",
+]

@@ -1,0 +1,151 @@
+"""Service-level observability: one :class:`ServiceStats` per service.
+
+Everything the serving layer can cheaply observe in-process: request
+outcomes (completed / cache hit / rejected / failed), the micro-batcher's
+batch-size histogram (the direct evidence coalescing happens), and
+request latency percentiles over a bounded recent window
+(:class:`repro.perf.LatencyReservoir`). Durations come from
+``time.perf_counter`` — the ``wall-clock-timing`` lint rule bans
+``time.time`` for measurement in this package.
+
+``snapshot()`` is the machine-readable form (CLI ``--json``, benchmark
+payloads); ``summary()`` is the human block ``repro serve-bench`` prints.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.perf import LatencyReservoir
+
+
+class ServiceStats:
+    """Thread-safe counters + histograms for one service instance."""
+
+    def __init__(self, reservoir_size: int = 65536):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.cache_hits = 0
+        self.rejected_overload = 0
+        self.rejected_deadline = 0
+        self.failed = 0
+        self.batches = 0
+        self.batched_requests = 0  # requests served through batches
+        self.batch_sizes: Dict[int, int] = {}
+        self.latencies = LatencyReservoir(reservoir_size)
+        self._started_at = time.perf_counter()
+
+    # -- recording (called by the service / workers) ---------------------
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_cache_hit(self) -> None:
+        with self._lock:
+            self.cache_hits += 1
+            self.completed += 1
+
+    def record_overloaded(self) -> None:
+        with self._lock:
+            self.rejected_overload += 1
+
+    def record_deadline_exceeded(self) -> None:
+        with self._lock:
+            self.rejected_deadline += 1
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
+    def record_completed(self, latency_s: float) -> None:
+        with self._lock:
+            self.completed += 1
+        self.latencies.record(latency_s)
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return self.rejected_overload + self.rejected_deadline
+
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            return (
+                self.batched_requests / self.batches if self.batches else 0.0
+            )
+
+    def qps(self, now: Optional[float] = None) -> float:
+        """Completed requests per second since the service started."""
+        elapsed = (
+            now if now is not None else time.perf_counter()
+        ) - self._started_at
+        with self._lock:
+            completed = self.completed
+        return completed / elapsed if elapsed > 0 else 0.0
+
+    def snapshot(self, cache_stats: Optional[dict] = None) -> dict:
+        """One consistent machine-readable view of the whole service."""
+        latency = self.latencies.percentiles()
+        with self._lock:
+            out = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "cache_hits": self.cache_hits,
+                "rejected_overload": self.rejected_overload,
+                "rejected_deadline": self.rejected_deadline,
+                "failed": self.failed,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "mean_batch_size": (
+                    self.batched_requests / self.batches
+                    if self.batches
+                    else 0.0
+                ),
+                "batch_size_histogram": dict(sorted(self.batch_sizes.items())),
+            }
+        out["qps"] = self.qps()
+        out["latency_ms"] = {
+            name: seconds * 1e3 for name, seconds in latency.items()
+        }
+        if cache_stats is not None:
+            out["cache"] = cache_stats
+        return out
+
+    def summary(self, cache_stats: Optional[dict] = None) -> str:
+        """Human-readable block (``repro serve-bench`` output)."""
+        snap = self.snapshot(cache_stats)
+        latency = snap["latency_ms"]
+        lines = [
+            "service stats:",
+            f"  submitted:   {snap['submitted']}"
+            f" (completed {snap['completed']},"
+            f" cache hits {snap['cache_hits']},"
+            f" rejected {snap['rejected_overload'] + snap['rejected_deadline']},"
+            f" failed {snap['failed']})",
+            f"  throughput:  {snap['qps']:.1f} qps",
+            f"  batches:     {snap['batches']}"
+            f" (mean size {snap['mean_batch_size']:.2f},"
+            f" histogram {snap['batch_size_histogram']})",
+            f"  latency ms:  p50 {latency['p50']:.2f}"
+            f"  p95 {latency['p95']:.2f}  p99 {latency['p99']:.2f}"
+            f"  max {latency['max']:.2f}",
+        ]
+        if "cache" in snap:
+            cache = snap["cache"]
+            lines.append(
+                f"  cache:       {cache['hits']} hits /"
+                f" {cache['misses']} misses"
+                f" (ratio {cache['hit_ratio']:.2f},"
+                f" evictions {cache['evictions']},"
+                f" expirations {cache['expirations']})"
+            )
+        return "\n".join(lines)

@@ -108,6 +108,16 @@ VIOLATIONS = {
             return table
         """,
     ),
+    "wall-clock-timing": (
+        "serve/timing.py",
+        """
+        import time
+
+
+        def stamp():
+            return time.time()  ##HERE##
+        """,
+    ),
 }
 
 # rule id -> compliant rewrite of the same logic; must produce no finding.
@@ -198,6 +208,16 @@ COMPLIANT = {
                 if key < 0:
                     table.pop(key)
             return table
+        """,
+    ),
+    "wall-clock-timing": (
+        "serve/timing.py",
+        """
+        import time
+
+
+        def stamp():
+            return time.perf_counter()
         """,
     ),
 }
@@ -311,6 +331,56 @@ class TestScoping:
         report = _lint(
             tmp_path, "retriever/scoring.py", source,
             select=["unnormalized-matmul"],
+        )
+        assert report.findings == []
+
+    def test_wall_clock_timing_only_in_timing_dirs(self, tmp_path):
+        _, raw = VIOLATIONS["wall-clock-timing"]
+        source, _ = _render(raw, "")
+        report = _lint(tmp_path, "mod.py", source, select=["wall-clock-timing"])
+        assert report.findings == []
+
+    def test_wall_clock_timing_covers_benchmark_test_files(self, tmp_path):
+        # unlike the hot-path rules, no test-file exemption: the
+        # benchmark test modules are the heaviest timing users
+        _, raw = VIOLATIONS["wall-clock-timing"]
+        source, _ = _render(raw, "")
+        report = _lint(
+            tmp_path, "benchmarks/test_bench.py", source,
+            select=["wall-clock-timing"],
+        )
+        assert [f.rule_id for f in report.findings] == ["wall-clock-timing"]
+
+    def test_wall_clock_timing_catches_from_import_alias(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            from time import time as now
+
+
+            def stamp():
+                return now()
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "perf/clock.py", source, select=["wall-clock-timing"]
+        )
+        assert [f.rule_id for f in report.findings] == ["wall-clock-timing"]
+
+    def test_wall_clock_timing_ignores_other_time_attrs(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import time
+            import datetime
+
+
+            def ok():
+                t = time.monotonic() + time.perf_counter()
+                moment = datetime.time()
+                return t, moment
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "serve/clock.py", source, select=["wall-clock-timing"]
         )
         assert report.findings == []
 

@@ -1,9 +1,11 @@
 """Tests for the command-line interface."""
 
 import json
+from types import SimpleNamespace
 
 import pytest
 
+import repro.cli
 from repro.cli import build_parser, cmd_demo, main
 
 
@@ -109,3 +111,171 @@ class TestLint:
     def test_lint_parser_defaults(self):
         args = build_parser().parse_args(["lint"])
         assert args.paths == [] and args.format == "text"
+
+
+class _FakePath:
+    def __init__(self, text):
+        self.text = text
+
+    def explain(self):
+        return f"path[{self.text}]"
+
+
+class _StubRetriever:
+    def retrieve_many(self, questions, k=10, **kwargs):
+        return [[(question, k)] for question in questions]
+
+
+class _StubMultihop:
+    def retrieve_paths_batch(self, questions, k_paths=None):
+        return [[_FakePath(question)] for question in questions]
+
+
+class _StubSystem:
+    """Duck-typed TripleFactRetrieval standing in for a trained model."""
+
+    def __init__(self):
+        self.batch_calls = []
+        self.retriever = _StubRetriever()
+        self.multihop = _StubMultihop()
+
+    def retrieve_paths(self, question, k=8, rerank=True):
+        return [_FakePath(question)]
+
+    def retrieve_paths_many(self, questions, k=8, rerank=True):
+        self.batch_calls.append((list(questions), k))
+        return [[_FakePath(question)] for question in questions]
+
+
+@pytest.fixture()
+def stub_system(monkeypatch):
+    system = _StubSystem()
+    dataset = SimpleNamespace(
+        test=[SimpleNamespace(text=f"dataset question {i} ?") for i in range(4)]
+    )
+    monkeypatch.setattr(
+        repro.cli, "_rebuild", lambda model_dir: (system, None, None, dataset)
+    )
+    return system
+
+
+class TestQueryBatch:
+    def _query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(
+            "who founded the club ?\n\n  where was he born ?  \n",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_batch_routes_through_bulk_path(
+        self, tmp_path, capsys, stub_system
+    ):
+        queries = self._query_file(tmp_path)
+        exit_code = main(
+            ["query", "--model", "m", "--batch", str(queries), "--k", "2"]
+        )
+        assert exit_code == 0
+        # blank/whitespace lines dropped, one bulk call with both questions
+        assert stub_system.batch_calls == [
+            (["who founded the club ?", "where was he born ?"], 2)
+        ]
+        out = capsys.readouterr().out
+        assert "=== who founded the club ?" in out
+        assert "path[where was he born ?]" in out
+
+    def test_single_question_still_works(self, capsys, stub_system):
+        assert main(["query", "--model", "m", "why ?"]) == 0
+        assert stub_system.batch_calls == []
+        assert "path[why ?]" in capsys.readouterr().out
+
+    def test_question_and_batch_together_rejected(
+        self, tmp_path, capsys, stub_system
+    ):
+        queries = self._query_file(tmp_path)
+        exit_code = main(
+            ["query", "--model", "m", "--batch", str(queries), "also this ?"]
+        )
+        assert exit_code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_question_nor_batch_rejected(self, capsys, stub_system):
+        assert main(["query", "--model", "m"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_empty_batch_file_rejected(self, tmp_path, capsys, stub_system):
+        queries = tmp_path / "empty.txt"
+        queries.write_text("\n  \n", encoding="utf-8")
+        assert main(["query", "--model", "m", "--batch", str(queries)]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+
+class TestServeBench:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench", "--model", "m"])
+        assert args.threads == 8
+        assert args.mode == "single"
+        assert args.batch_size == 16
+        assert args.wait_ms == 2.0
+        assert args.format == "text"
+
+    def test_replays_query_file(self, tmp_path, capsys, stub_system):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("q one ?\nq two ?\nq three ?\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "serve-bench", "--model", "m", "--queries", str(queries),
+                "--threads", "3", "--cache-size", "0",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "replayed 3 queries x 3 client thread(s)" in out
+        assert "service stats:" in out
+        assert "qps" in out
+
+    def test_json_format_reports_full_snapshot(
+        self, tmp_path, capsys, stub_system
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("q one ?\nq two ?\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "serve-bench", "--model", "m", "--queries", str(queries),
+                "--threads", "2", "--format", "json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["submitted"] == 4
+        assert payload["completed"] == 4
+        assert payload["failed"] == 0
+        assert "latency_ms" in payload and "cache" in payload
+
+    def test_paths_mode_uses_multihop(self, tmp_path, capsys, stub_system):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("q one ?\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "serve-bench", "--model", "m", "--queries", str(queries),
+                "--threads", "1", "--mode", "paths",
+            ]
+        )
+        assert exit_code == 0
+        assert "mode=paths" in capsys.readouterr().out
+
+    def test_falls_back_to_dataset_questions(self, capsys, stub_system):
+        exit_code = main(
+            ["serve-bench", "--model", "m", "--threads", "2", "--n", "3"]
+        )
+        assert exit_code == 0
+        assert "replayed 3 queries" in capsys.readouterr().out
+
+    def test_empty_query_file_rejected(self, tmp_path, capsys, stub_system):
+        queries = tmp_path / "empty.txt"
+        queries.write_text("", encoding="utf-8")
+        exit_code = main(
+            ["serve-bench", "--model", "m", "--queries", str(queries)]
+        )
+        assert exit_code == 2
+        assert "no queries" in capsys.readouterr().err

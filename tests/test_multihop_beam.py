@@ -10,7 +10,6 @@
 
 from collections import Counter
 
-import numpy as np
 import pytest
 
 from repro.pipeline.multihop import MultiHopConfig, MultiHopRetriever
@@ -34,27 +33,28 @@ class TestHop2BeamWidth:
         the overfetched (k_hop2 + 1)-th result must then be dropped, not
         silently widen the per-candidate beam."""
         cfg = multihop.config
-        hop1_ids: list = []
         original_batch = retriever.retrieve_batch
-
-        def spy_by_vector(vec, k=10, **kwargs):
-            # call the *original* batch path directly: retrieve_by_vector
-            # itself routes through retrieve_batch, which is patched below
-            results = original_batch(
-                np.asarray(vec)[None, :], k=k, **kwargs
-            )[0]
-            hop1_ids.clear()
-            hop1_ids.extend(r.doc_id for r in results)
-            return results
+        # retrieve_paths makes exactly two retrieve_batch calls per
+        # question batch: hop 1 (one row per question), then hop 2 (one
+        # row per hop-1 candidate, concatenated across questions)
+        state = {"hop": 0, "hop1_ids": []}
 
         def batch_without_hop1(matrix, k=10, **kwargs):
-            rows = original_batch(matrix, k=k + len(hop1_ids), **kwargs)
+            if state["hop"] == 0:
+                rows = original_batch(matrix, k=k, **kwargs)
+                state["hop1_ids"] = [
+                    r.doc_id for row in rows for r in row
+                ]
+                state["hop"] = 1
+                return rows
+            state["hop"] = 0
+            flat = state["hop1_ids"]
+            rows = original_batch(matrix, k=k + len(flat), **kwargs)
             return [
-                [r for r in row if r.doc_id != hop1_ids[i]][:k]
+                [r for r in row if r.doc_id != flat[i]][:k]
                 for i, row in enumerate(rows)
             ]
 
-        monkeypatch.setattr(retriever, "retrieve_by_vector", spy_by_vector)
         monkeypatch.setattr(retriever, "retrieve_batch", batch_without_hop1)
         for question in hotpot.test[:6]:
             paths = multihop.retrieve_paths(question.text)

@@ -1,0 +1,474 @@
+"""Tests for ``repro.serve``: cache, batching, backpressure, determinism.
+
+The concurrency stress test uses a *dyadic* encoder: embedding entries
+are 0/±1 with exactly 16 nonzeros in 32 dims, so every normalized entry
+(±1/4) and every cosine (a sum of ±1/16 terms) is an exact dyadic
+rational. Float addition over those values is exact, hence associative,
+hence the scoring matmul is bitwise identical for *any* batch shape —
+which is what lets the test assert byte-identical results under dynamic
+micro-batch coalescing instead of hiding behind a tolerance.
+"""
+
+import threading
+import time
+import zlib
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import Corpus, Document
+from repro.data.world import Entity
+from repro.oie.triple import Triple
+from repro.retriever.single import SingleRetriever
+from repro.retriever.store import TripleStore
+from repro.serve import (
+    MISS,
+    DeadlineExceeded,
+    Overloaded,
+    ResultCache,
+    RetrievalService,
+    ServiceConfig,
+    ServiceStopped,
+    query_cache_key,
+)
+
+N_DOCS = 60
+TRIPLES_PER_DOC = 4
+DIM = 32
+
+
+class DyadicEncoder:
+    """Deterministic encoder whose cosines are exact dyadic rationals."""
+
+    def __init__(self, dim: int = DIM, nonzeros: int = 16):
+        self.config = SimpleNamespace(dim=dim)
+        self.nonzeros = nonzeros
+
+    def encode_numpy(self, texts, batch_size: int = 64) -> np.ndarray:
+        if not texts:
+            return np.zeros((0, self.config.dim))
+        rows = []
+        for text in texts:
+            rng = np.random.RandomState(
+                zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
+            )
+            vec = np.zeros(self.config.dim)
+            index = rng.choice(
+                self.config.dim, size=self.nonzeros, replace=False
+            )
+            vec[index] = rng.choice([-1.0, 1.0], size=self.nonzeros)
+            rows.append(vec)
+        return np.stack(rows)
+
+
+@pytest.fixture(scope="module")
+def serve_retriever():
+    rng = np.random.RandomState(11)
+    documents = []
+    rows = {}
+    for doc_id in range(N_DOCS):
+        title = f"Doc {doc_id}"
+        triples = [
+            Triple(
+                subject=title,
+                predicate=f"pred{rng.randint(50)}",
+                object=f"obj{rng.randint(50)} tail{rng.randint(50)}",
+            )
+            for _ in range(TRIPLES_PER_DOC)
+        ]
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                title=title,
+                text=" ".join(t.flatten() for t in triples),
+                entity=Entity(uid=doc_id, name=title, kind="synthetic"),
+            )
+        )
+        rows[doc_id] = triples
+    store = TripleStore(Corpus(documents))
+    for doc_id, triples in rows.items():
+        store.put(doc_id, triples)
+    retriever = SingleRetriever(DyadicEncoder(), store)
+    retriever.refresh_embeddings()
+    return retriever
+
+
+class BlockingStubRetriever:
+    """retrieve_many stub that blocks until released (worker-pinning)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.calls = []
+
+    def retrieve_many(self, questions, k=10, **kwargs):
+        self.started.set()
+        assert self.release.wait(5.0), "stub never released"
+        self.calls.append(list(questions))
+        return [[(question, k)] for question in questions]
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestQueryCacheKey:
+    def test_normalization_merges_equivalent_spellings(self):
+        a = query_cache_key("Who founded  Millwall?", "single", 5)
+        b = query_cache_key("who founded millwall?", "single", 5)
+        assert a == b
+
+    def test_mode_and_k_separate_entries(self):
+        base = query_cache_key("q ?", "single", 5)
+        assert query_cache_key("q ?", "paths", 5) != base
+        assert query_cache_key("q ?", "single", 6) != base
+
+
+class TestResultCache:
+    def test_hit_miss_and_stats(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is MISS
+        cache.put("a", [1, 2])
+        assert cache.get("a") == [1, 2]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a's recency
+        cache.put("c", 3)  # evicts b (least recently used)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_existing_refreshes_not_evicts(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite, no eviction
+        assert cache.stats.evictions == 0
+        cache.put("c", 3)  # now b is LRU
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 10
+
+    def test_ttl_expiry_with_fake_clock(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.0)
+        assert cache.get("a") == 1
+        clock.advance(1.0)  # age == ttl -> expired
+        assert cache.get("a") is MISS
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_put_refreshes_ttl(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=8, ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(8.0)
+        cache.put("a", 2)  # re-stamped
+        clock.advance(8.0)
+        assert cache.get("a") == 2
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is MISS
+        assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# service basics
+# ---------------------------------------------------------------------------
+
+
+class TestServiceBasics:
+    def test_retrieve_matches_direct_bulk_path(self, serve_retriever):
+        question = "what links doc 3 and doc 7 ?"
+        expected = serve_retriever.retrieve_many([question], k=5)[0]
+        with RetrievalService(serve_retriever) as service:
+            got = service.retrieve(question, k=5, timeout=10)
+        assert [r.doc_id for r in got] == [r.doc_id for r in expected]
+        assert [r.score for r in got] == [r.score for r in expected]
+
+    def test_cache_hit_returns_shared_result(self, serve_retriever):
+        config = ServiceConfig(cache_size=16)
+        with RetrievalService(serve_retriever, config=config) as service:
+            first = service.retrieve("warm me up ?", k=5, timeout=10)
+            again = service.retrieve("Warm  me UP ?", k=5, timeout=10)
+            assert again is first  # normalized-key hit, shared object
+            snap = service.stats_snapshot()
+        assert snap["cache_hits"] == 1
+        assert snap["cache"]["hits"] == 1
+
+    def test_paths_mode_without_multihop_rejected(self, serve_retriever):
+        with RetrievalService(serve_retriever) as service:
+            with pytest.raises(ValueError, match="paths"):
+                service.retrieve_paths("q ?", k=2)
+
+    def test_unknown_mode_rejected(self, serve_retriever):
+        with RetrievalService(serve_retriever) as service:
+            with pytest.raises(ValueError, match="unknown mode"):
+                service.submit("q ?", mode="bogus")
+
+    def test_submit_before_start_and_after_stop_rejected(
+        self, serve_retriever
+    ):
+        service = RetrievalService(serve_retriever)
+        with pytest.raises(ServiceStopped):
+            service.retrieve("q ?")
+        service.start()
+        service.stop()
+        with pytest.raises(ServiceStopped):
+            service.retrieve("q ?")
+
+    def test_start_is_idempotent(self, serve_retriever):
+        service = RetrievalService(serve_retriever)
+        try:
+            assert service.start() is service.start()
+            assert service.running
+        finally:
+            service.stop()
+
+    def test_worker_exception_propagates_to_client(self):
+        class ExplodingStub:
+            def retrieve_many(self, questions, k=10, **kwargs):
+                raise RuntimeError("index corrupted")
+
+        with RetrievalService(ExplodingStub()) as service:
+            request = service.submit("q ?", k=3)
+            with pytest.raises(RuntimeError, match="index corrupted"):
+                request.result(timeout=10)
+            assert service.stats_snapshot()["failed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# admission control + deadlines + shutdown
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_overloaded_when_queue_full(self):
+        stub = BlockingStubRetriever()
+        config = ServiceConfig(max_pending=2, max_batch_size=1, max_wait_ms=0)
+        with RetrievalService(stub, config=config) as service:
+            blocked = service.submit("q0 ?")
+            assert stub.started.wait(5.0)  # worker now pinned on q0
+            queued = [service.submit(f"q{i} ?") for i in (1, 2)]
+            with pytest.raises(Overloaded):
+                service.submit("q3 ?")
+            assert service.stats_snapshot()["rejected_overload"] == 1
+            stub.release.set()
+            for request in (blocked, *queued):
+                assert request.result(timeout=10)
+        snap = service.stats_snapshot()
+        assert snap["completed"] == 3
+        assert snap["submitted"] == 4
+
+    def test_deadline_exceeded_while_queued(self):
+        stub = BlockingStubRetriever()
+        config = ServiceConfig(max_batch_size=1, max_wait_ms=0)
+        with RetrievalService(stub, config=config) as service:
+            blocked = service.submit("q0 ?")
+            assert stub.started.wait(5.0)
+            doomed = service.submit("q1 ?", deadline_s=0.01)
+            time.sleep(0.05)  # let the deadline lapse while queued
+            stub.release.set()
+            assert blocked.result(timeout=10)
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=10)
+            assert service.stats_snapshot()["rejected_deadline"] == 1
+
+    def test_stop_drain_flushes_queued_requests(self, serve_retriever):
+        config = ServiceConfig(max_batch_size=4, max_wait_ms=1.0)
+        service = RetrievalService(serve_retriever, config=config)
+        service.start()
+        requests = [
+            service.submit(f"drain question {i} ?", k=3) for i in range(12)
+        ]
+        service.stop(drain=True)
+        for request in requests:
+            assert request.result(timeout=10), "drained request lost"
+        assert service.stats_snapshot()["completed"] == 12
+
+    def test_stop_without_drain_fails_queued(self):
+        stub = BlockingStubRetriever()
+        config = ServiceConfig(max_batch_size=1, max_wait_ms=0)
+        service = RetrievalService(stub, config=config)
+        service.start()
+        blocked = service.submit("q0 ?")
+        assert stub.started.wait(5.0)
+        queued = [service.submit(f"q{i} ?") for i in (1, 2)]
+        service.stop(drain=False, timeout=0.2)
+        for request in queued:
+            with pytest.raises(ServiceStopped):
+                request.result(timeout=10)
+        stub.release.set()  # unpin the worker; in-flight batch completes
+        assert blocked.result(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+
+
+class TestServiceStats:
+    def test_snapshot_shape_and_consistency(self, serve_retriever):
+        with RetrievalService(serve_retriever) as service:
+            for i in range(6):
+                service.retrieve(f"stats question {i} ?", k=3, timeout=10)
+            snap = service.stats_snapshot()
+        assert snap["submitted"] == 6
+        assert snap["completed"] == 6
+        assert snap["failed"] == 0
+        histogram = snap["batch_size_histogram"]
+        assert sum(size * n for size, n in histogram.items()) == (
+            snap["batched_requests"]
+        )
+        assert snap["qps"] > 0
+        for name in ("p50", "p95", "p99", "mean", "max"):
+            assert snap["latency_ms"][name] >= 0
+
+    def test_summary_mentions_key_figures(self, serve_retriever):
+        with RetrievalService(serve_retriever) as service:
+            service.retrieve("summary question ?", k=3, timeout=10)
+            text = service.stats_summary()
+        assert "qps" in text
+        assert "p95" in text
+        assert "cache" in text
+
+
+# ---------------------------------------------------------------------------
+# concurrency: determinism under coalescing + caching
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentDeterminism:
+    N_THREADS = 8
+    N_QUESTIONS = 40
+    K = 5
+
+    def _questions(self):
+        return [
+            f"which document mentions topic {i} and topic {i + 3} ?"
+            for i in range(self.N_QUESTIONS)
+        ]
+
+    def _reference(self, retriever, questions):
+        """Sequential ground truth: one retrieve_batch call per query."""
+        return {
+            question: retriever.retrieve_many([question], k=self.K)[0]
+            for question in questions
+        }
+
+    @pytest.mark.parametrize("cache_size", [0, 512])
+    def test_threaded_results_byte_identical(
+        self, serve_retriever, cache_size
+    ):
+        questions = self._questions()
+        reference = self._reference(serve_retriever, questions)
+        config = ServiceConfig(
+            max_batch_size=16,
+            max_wait_ms=2.0,
+            max_pending=self.N_THREADS * self.N_QUESTIONS,
+            cache_size=cache_size,
+            workers=2,
+        )
+        service = RetrievalService(serve_retriever, config=config)
+        mismatches = []
+        errors = []
+
+        def client(seed):
+            order = list(questions)
+            np.random.RandomState(seed).shuffle(order)
+            for question in order:
+                try:
+                    got = service.retrieve(question, k=self.K, timeout=30)
+                except Exception as error:  # noqa: BLE001 - recorded
+                    errors.append(repr(error))
+                    continue
+                expected = reference[question]
+                same = (
+                    [r.doc_id for r in got] == [r.doc_id for r in expected]
+                    and [r.score for r in got]
+                    == [r.score for r in expected]  # bitwise: dyadic floats
+                    and [r.matched_triple for r in got]
+                    == [r.matched_triple for r in expected]
+                )
+                if not same:
+                    mismatches.append(question)
+
+        with service:
+            threads = [
+                threading.Thread(target=client, args=(seed,))
+                for seed in range(self.N_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            snap = service.stats_snapshot()
+
+        assert errors == []
+        assert mismatches == []
+        total = self.N_THREADS * self.N_QUESTIONS
+        # zero dropped below the admission limit
+        assert snap["submitted"] == total
+        assert snap["completed"] == total
+        assert snap["rejected_overload"] == 0
+        assert snap["rejected_deadline"] == 0
+        assert snap["failed"] == 0
+        assert sum(
+            size * n for size, n in snap["batch_size_histogram"].items()
+        ) + snap["cache_hits"] == total
+
+
+# ---------------------------------------------------------------------------
+# paths mode (service over the multi-hop pipeline)
+# ---------------------------------------------------------------------------
+
+
+class TestPathsMode:
+    @pytest.fixture()
+    def multihop(self, retriever, encoder):
+        from repro.pipeline.multihop import MultiHopConfig, MultiHopRetriever
+        from repro.updater.updater import QuestionUpdater
+
+        return MultiHopRetriever(
+            retriever,
+            QuestionUpdater(encoder),
+            MultiHopConfig(k_hop1=4, k_hop2=3, k_paths=6),
+        )
+
+    def test_served_paths_match_direct_batch(
+        self, retriever, multihop, hotpot
+    ):
+        questions = [q.text for q in hotpot.test[:3]]
+        expected = {
+            q: multihop.retrieve_paths_batch([q], k_paths=4)[0]
+            for q in questions
+        }
+        with RetrievalService(retriever, multihop=multihop) as service:
+            for question in questions:
+                got = service.retrieve_paths(question, k=4, timeout=30)
+                want = expected[question]
+                assert [p.doc_ids for p in got] == [p.doc_ids for p in want]
+                assert [p.score for p in got] == [p.score for p in want]
