@@ -16,6 +16,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import all_rule_ids, load_config, run_lint
+from repro.storage.atomic import atomic_write_json
 
 pytestmark = pytest.mark.perf
 
@@ -53,7 +54,7 @@ def test_lint_src_within_budget():
         "files_per_second": report.files_scanned / best,
         "budget_seconds": BUDGET_SECONDS,
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2))
+    atomic_write_json(OUT_PATH, payload, indent=2)
     print(
         f"\nlint throughput: {report.files_scanned} files in "
         f"{best * 1e3:.0f} ms ({payload['files_per_second']:.0f} files/s)"

@@ -26,6 +26,7 @@ from repro.perf import COUNTERS
 from repro.retriever.single import SingleRetriever
 from repro.retriever.store import TripleStore
 from repro.retriever.strategies import ONE_FACT, ScoreStrategy
+from repro.storage.atomic import atomic_write_json
 
 pytestmark = pytest.mark.perf
 
@@ -148,7 +149,7 @@ def test_vectorized_speedup(synthetic_retriever):
         "queries_per_second_batched": N_QUERIES / batched_s,
         "counters": COUNTERS.snapshot(),
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2))
+    atomic_write_json(OUT_PATH, payload, indent=2)
     print(
         f"\nretrieval throughput: legacy {legacy_s * 1e3:.1f} ms, "
         f"vectorized {vectorized_s * 1e3:.1f} ms ({speedup:.1f}x), "

@@ -33,6 +33,7 @@ from repro.retriever.store import TripleStore
 from repro.serve import RetrievalService, ServiceConfig
 from repro.text.tokenize import tokenize
 from repro.text.vocab import Vocab
+from repro.storage.atomic import atomic_write_json
 
 pytestmark = [pytest.mark.perf, pytest.mark.serve]
 
@@ -180,7 +181,7 @@ def test_micro_batching_speedup(bench_setup):
         "batched_mean_batch_size": batched_snap["mean_batch_size"],
         "batched_batch_size_histogram": batched_snap["batch_size_histogram"],
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2))
+    atomic_write_json(OUT_PATH, payload, indent=2)
     print(
         f"\nserve throughput: sequential {sequential_qps:.0f} qps, "
         f"micro-batched {batched_qps:.0f} qps ({speedup:.1f}x, "

@@ -12,6 +12,8 @@ import ast
 import re
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from pathlib import Path
+
 from repro.analysis.core import FileContext, Finding, Rule, register
 
 # directories that hold retrieval hot paths (scoped rules below)
@@ -698,3 +700,159 @@ class DictIterationMutation(Rule):
                     and ast.unparse(target.value) == iterated
                 ):
                     yield self.finding(ctx, node, message)
+
+
+# ---------------------------------------------------------------------------
+# nonatomic-artifact-write
+# ---------------------------------------------------------------------------
+
+_ARTIFACT_SUFFIX = re.compile(r"\.(json|npz|npy)$", re.IGNORECASE)
+_FILE_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+_NP_SAVERS = frozenset({"save", "savez", "savez_compressed"})
+_PATHISH_CALLS = frozenset({"str", "Path", "PurePath", "fspath"})
+_WRITING_MODE = re.compile(r"[wax]")
+
+
+@register
+class NonatomicArtifactWrite(Rule):
+    """On-disk artifacts must go through the ``repro.storage.atomic`` helpers.
+
+    A plain ``write_text`` / ``open(..., "w")`` / ``np.savez`` on a
+    ``.json`` / ``.npz`` / ``.npy`` artifact path truncates the
+    destination before the new bytes land, so a crash mid-write leaves a
+    corrupt artifact the next load chokes on. ``repro.storage.atomic``
+    writes a same-directory temp file and ``os.replace``s it over the
+    destination instead. Path evidence is traced through simple
+    assignments (``OUT_PATH = ... / "BENCH_x.json"``), one level deep.
+    """
+
+    id = "nonatomic-artifact-write"
+    description = (
+        "direct write to a .json/.npz/.npy artifact path; use the "
+        "repro.storage.atomic helpers (temp file + os.replace)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if Path(ctx.rel_path).name == "atomic.py":
+            return False  # the helper implementation itself
+        # benchmark test modules ARE artifact writers (BENCH_*.json);
+        # ordinary test files exercise raw writes deliberately
+        if ctx.is_test_file and "benchmarks" not in ctx.dir_parts:
+            return False
+        return True
+
+    def _collect_assignments(self, tree: ast.AST) -> Dict[str, ast.expr]:
+        table: Dict[str, ast.expr] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        table[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    table[node.target.id] = node.value
+        return table
+
+    def _artifact_name(
+        self, expr: ast.expr, table: Dict[str, ast.expr], depth: int = 0
+    ) -> Optional[str]:
+        """A string constant with an artifact suffix inside ``expr``."""
+        for sub in ast.walk(expr):
+            if (
+                isinstance(sub, ast.Constant)
+                and isinstance(sub.value, str)
+                and _ARTIFACT_SUFFIX.search(sub.value)
+            ):
+                return sub.value
+            if isinstance(sub, ast.Name) and depth < 2:
+                value = table.get(sub.id)
+                if value is not None:
+                    found = self._artifact_name(value, table, depth + 1)
+                    if found:
+                        return found
+        return None
+
+    def _is_json_dumps(self, expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "dumps"
+            and isinstance(expr.func.value, ast.Name)
+            and expr.func.value.id == "json"
+        )
+
+    def _writing_mode(self, call: ast.Call, position: int) -> bool:
+        mode: Optional[ast.expr] = None
+        if len(call.args) > position:
+            mode = call.args[position]
+        else:
+            for keyword in call.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+        return (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and bool(_WRITING_MODE.search(mode.value))
+        )
+
+    def _flag(self, ctx, node, path_hint: Optional[str]) -> Finding:
+        where = f" ({path_hint!r})" if path_hint else ""
+        return self.finding(
+            ctx,
+            node,
+            f"non-atomic write to an artifact path{where}: a crash "
+            "mid-write corrupts the previous artifact; use "
+            "repro.storage.atomic (atomic_write_json/_text/_bytes/_npz)",
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        table = self._collect_assignments(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # pathlib writes: X.write_text(...) / X.write_bytes(...)
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _FILE_WRITE_METHODS
+            ):
+                name = self._artifact_name(func.value, table)
+                if name is None and not (
+                    func.attr == "write_text"
+                    and node.args
+                    and self._is_json_dumps(node.args[0])
+                ):
+                    continue
+                yield self._flag(ctx, node, name)
+            # numpy savers: np.save / np.savez / np.savez_compressed
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _NP_SAVERS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in {"np", "numpy"}
+                and node.args
+            ):
+                target = node.args[0]
+                name = self._artifact_name(target, table)
+                pathish = (
+                    isinstance(target, ast.Call)
+                    and isinstance(target.func, ast.Name)
+                    and target.func.id in _PATHISH_CALLS
+                )
+                if name is None and not pathish:
+                    continue  # e.g. an io.BytesIO handle
+                yield self._flag(ctx, node, name)
+            # builtin open(X, "w"/"wb") on an artifact path
+            elif isinstance(func, ast.Name) and func.id == "open":
+                if not node.args or not self._writing_mode(node, 1):
+                    continue
+                name = self._artifact_name(node.args[0], table)
+                if name is not None:
+                    yield self._flag(ctx, node, name)
+            # pathlib opens: X.open("w") on an artifact path
+            elif isinstance(func, ast.Attribute) and func.attr == "open":
+                if not self._writing_mode(node, 0):
+                    continue
+                name = self._artifact_name(func.value, table)
+                if name is not None:
+                    yield self._flag(ctx, node, name)

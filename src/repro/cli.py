@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro.cli build  --out model_dir [--persons 70 ...]
+    python -m repro.cli ingest --out cache_dir [--workers 4] [--stats ...]
     python -m repro.cli query  --model model_dir "When was the club ... ?"
     python -m repro.cli query  --model model_dir --batch queries.txt
     python -m repro.cli eval   --model model_dir [--n 100]
@@ -12,10 +13,13 @@ Subcommands::
 
 ``build`` trains the full system on a freshly generated world and saves it
 (plus the world seed, so ``query``/``eval`` can rebuild the same corpus).
-``lint`` runs the repo's own static analyzer (``repro.analysis``) and
-exits non-zero when any rule fires. ``serve-bench`` stands up the
-in-process :mod:`repro.serve` service and replays a query file from many
-client threads, reporting throughput / latency / batching / cache stats.
+``ingest`` runs the offline stage alone — parallel, incremental triple
+extraction (optionally + encoding) into an on-disk artifact cache that
+later runs refresh instead of rebuild. ``lint`` runs the repo's own
+static analyzer (``repro.analysis``) and exits non-zero when any rule
+fires. ``serve-bench`` stands up the in-process :mod:`repro.serve`
+service and replays a query file from many client threads, reporting
+throughput / latency / batching / cache stats.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.eval.metrics import RetrievalScorecard, path_exact_match
 from repro.perf import COUNTERS
 from repro.pipeline.framework import FrameworkConfig, TripleFactRetrieval
 from repro.retriever.trainer import TrainerConfig
+from repro.storage.atomic import atomic_write_json
 
 
 def _world_config(args) -> WorldConfig:
@@ -82,8 +87,42 @@ def cmd_build(args) -> int:
         "dataset": dataset_kwargs,
         "encoder": encoder_config.__dict__,
     }
-    (out / "meta.json").write_text(json.dumps(meta))
+    atomic_write_json(out / "meta.json", meta)
     print(f"saved to {out}")
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    from repro.ingest import IngestPipeline
+
+    world = World(_world_config(args))
+    corpus = build_corpus(world)
+    pipeline = IngestPipeline(
+        corpus,
+        workers=args.workers,
+        incremental=not args.no_incremental,
+    )
+    encoder = None
+    if args.encode:
+        from repro.encoder.minibert import MiniBertEncoder
+        from repro.text.tokenize import tokenize
+        from repro.text.vocab import Vocab
+
+        vocab = Vocab.from_texts([d.text for d in corpus], tokenize)
+        encoder = MiniBertEncoder(
+            vocab,
+            EncoderConfig(
+                dim=args.dim, n_layers=1, n_heads=4, max_len=40,
+                residual_scale=0.05,
+            ),
+        )
+    result = pipeline.run(Path(args.out), encoder=encoder)
+    print(
+        f"ingested {result.stats.docs_total} docs "
+        f"({result.stats.triples_total} triples) into {args.out}"
+    )
+    if args.stats:
+        print(result.stats.summary())
     return 0
 
 
@@ -280,6 +319,37 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--dim", type=int, default=96)
     build.add_argument("--epochs", type=int, default=2)
     build.set_defaults(func=cmd_build)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="run the offline stage (parallel, incremental) into a cache",
+    )
+    ingest.add_argument("--out", required=True, help="artifact cache dir")
+    ingest.add_argument("--persons", type=int, default=70)
+    ingest.add_argument("--clubs", type=int, default=20)
+    ingest.add_argument("--bands", type=int, default=20)
+    ingest.add_argument("--cities", type=int, default=25)
+    ingest.add_argument("--seed", type=int, default=13)
+    ingest.add_argument(
+        "--workers", type=int, default=1,
+        help="extraction worker processes (output is byte-identical "
+        "regardless of worker count)",
+    )
+    ingest.add_argument(
+        "--no-incremental", action="store_true",
+        help="ignore prior artifacts and rebuild everything",
+    )
+    ingest.add_argument(
+        "--encode", action="store_true",
+        help="also encode triples into a persistent embedding store",
+    )
+    ingest.add_argument("--dim", type=int, default=96,
+                        help="encoder dimension when --encode is given")
+    ingest.add_argument(
+        "--stats", action="store_true",
+        help="print per-stage ingest counters and timings",
+    )
+    ingest.set_defaults(func=cmd_ingest)
 
     query = sub.add_parser("query", help="ask a trained system a question")
     query.add_argument("--model", required=True)

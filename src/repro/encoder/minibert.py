@@ -7,6 +7,7 @@ batch, run the encoder, take the [CLS] hidden state.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
@@ -14,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.nn.serialize import load_weights, save_weights
+from repro.storage.atomic import atomic_write_bytes
 from repro.nn.tensor import Tensor
 from repro.nn.transformer import TransformerEncoder
 from repro.text.tokenize import tokenize
@@ -155,7 +157,9 @@ class MiniBertEncoder:
         directory.mkdir(parents=True, exist_ok=True)
         save_weights(self.model, directory / "weights.npz")
         self.vocab.save(directory / "vocab.json")
-        np.save(directory / "token_weights.npy", self._token_weights)
+        buffer = io.BytesIO()
+        np.save(buffer, self._token_weights)
+        atomic_write_bytes(directory / "token_weights.npy", buffer.getvalue())
 
     @classmethod
     def load(

@@ -1,0 +1,43 @@
+"""Parallel, incremental corpus ingestion with persistent embeddings."""
+
+from repro.ingest.embedding_store import (
+    EmbeddingStore,
+    EmbeddingStoreError,
+    STORE_VERSION,
+)
+from repro.ingest.fingerprint import (
+    config_fingerprint,
+    construction_fingerprint,
+    document_fingerprint,
+    encoder_fingerprint,
+    triples_fingerprint,
+)
+from repro.ingest.pipeline import (
+    EMBEDDINGS_DIR,
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    STORE_NAME,
+    IngestPipeline,
+    IngestResult,
+    IngestStats,
+    extract_corpus_triples,
+)
+
+__all__ = [
+    "EMBEDDINGS_DIR",
+    "EmbeddingStore",
+    "EmbeddingStoreError",
+    "IngestPipeline",
+    "IngestResult",
+    "IngestStats",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "STORE_NAME",
+    "STORE_VERSION",
+    "config_fingerprint",
+    "construction_fingerprint",
+    "document_fingerprint",
+    "encoder_fingerprint",
+    "extract_corpus_triples",
+    "triples_fingerprint",
+]

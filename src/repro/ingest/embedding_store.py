@@ -1,0 +1,170 @@
+"""Persistent, versioned store for the stacked triple embedding matrix.
+
+The single-matmul retrieval path (:class:`repro.retriever.single.
+SingleRetriever`) scores queries against one L2-normalizable
+``(total_triples, dim)`` float64 matrix plus a segment layout
+(doc-id-ordered document ids and per-document row offsets). Re-deriving
+that matrix means re-encoding every flattened triple — by far the most
+expensive step of a cold start. This module persists it:
+
+* ``manifest.json`` — format version, matrix geometry, the segment
+  layout, per-document row hashes (:func:`~repro.ingest.fingerprint.
+  triples_fingerprint` of the flattened triples each segment encodes)
+  and the encoder / construction fingerprints the rows were computed
+  under.
+* ``embeddings-<digest>.f64`` — the raw row-major float64 matrix,
+  content-addressed by digest so a new generation never overwrites the
+  file an existing manifest points at.
+
+Writes are crash-safe: the data file lands first under its new
+content-addressed name, then the manifest is atomically replaced to
+point at it, then stale generations are garbage-collected. A crash
+between any two steps leaves a fully consistent (old or new) store.
+Loads default to ``np.memmap`` so a multi-GB matrix warm-starts without
+reading it eagerly; pages fault in as retrieval touches them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.storage.atomic import atomic_write_bytes, atomic_write_json
+
+MANIFEST_NAME = "manifest.json"
+STORE_VERSION = 1
+_DTYPE = np.float64
+
+
+class EmbeddingStoreError(RuntimeError):
+    """The on-disk store is missing, corrupt, or from another version."""
+
+
+@dataclass
+class EmbeddingStore:
+    """The stacked embedding matrix + segment layout, ready to persist.
+
+    ``matrix`` holds the *unnormalized* encoder outputs; normalization is
+    deterministic and cheap, so it is recomputed at attach time rather
+    than doubling the artifact size.
+    """
+
+    matrix: np.ndarray  # (total_rows, dim) float64, possibly a memmap
+    doc_ids: List[int]  # ascending document ids, one per segment
+    offsets: List[int]  # segment start row per document
+    row_hashes: Dict[int, str]  # doc_id -> triples_fingerprint
+    encoder_fingerprint: str
+    construction_fingerprint: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def dim(self) -> int:
+        return int(self.matrix.shape[1]) if self.matrix.ndim == 2 else 0
+
+    def segment(self, index: int) -> np.ndarray:
+        """The embedding rows of the ``index``-th document segment."""
+        start = self.offsets[index]
+        stop = (
+            self.offsets[index + 1]
+            if index + 1 < len(self.offsets)
+            else self.matrix.shape[0]
+        )
+        return self.matrix[start:stop]
+
+    # -- persistence -----------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write a new store generation under ``directory`` (crash-safe)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        matrix = np.ascontiguousarray(self.matrix, dtype=_DTYPE)
+        raw = matrix.tobytes()
+        digest = hashlib.sha256(raw).hexdigest()
+        data_name = f"embeddings-{digest[:16]}.f64"
+        atomic_write_bytes(directory / data_name, raw)
+        manifest = {
+            "version": STORE_VERSION,
+            "dtype": "float64",
+            "rows": int(matrix.shape[0]),
+            "dim": int(matrix.shape[1]),
+            "data_file": data_name,
+            "doc_ids": [int(d) for d in self.doc_ids],
+            "offsets": [int(o) for o in self.offsets],
+            "row_hashes": {str(d): h for d, h in self.row_hashes.items()},
+            "encoder_fingerprint": self.encoder_fingerprint,
+            "construction_fingerprint": self.construction_fingerprint,
+            "extra": self.extra,
+        }
+        atomic_write_json(directory / MANIFEST_NAME, manifest)
+        # GC generations the manifest no longer references; done last so a
+        # crash before this point leaves the previous generation loadable
+        for stale in directory.glob("embeddings-*.f64"):
+            if stale.name != data_name:
+                stale.unlink(missing_ok=True)
+        return directory
+
+    @classmethod
+    def open(
+        cls, directory: Union[str, Path], mmap: bool = True
+    ) -> "EmbeddingStore":
+        """Load a store saved by :meth:`save`; raises on any inconsistency."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise EmbeddingStoreError(f"no embedding store at {directory}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise EmbeddingStoreError(f"unreadable manifest: {error}") from error
+        version = manifest.get("version")
+        if version != STORE_VERSION:
+            raise EmbeddingStoreError(
+                f"embedding store version {version!r} != {STORE_VERSION}"
+            )
+        try:
+            rows = int(manifest["rows"])
+            dim = int(manifest["dim"])
+            data_file = manifest["data_file"]
+            doc_ids = [int(d) for d in manifest["doc_ids"]]
+            offsets = [int(o) for o in manifest["offsets"]]
+            row_hashes = {
+                int(d): str(h) for d, h in manifest["row_hashes"].items()
+            }
+            encoder_fp = str(manifest["encoder_fingerprint"])
+            construction_fp = str(manifest.get("construction_fingerprint", ""))
+        except (KeyError, TypeError, ValueError) as error:
+            raise EmbeddingStoreError(f"malformed manifest: {error}") from error
+        if len(doc_ids) != len(offsets):
+            raise EmbeddingStoreError(
+                f"{len(doc_ids)} doc ids but {len(offsets)} offsets"
+            )
+        data_path = directory / data_file
+        if not data_path.exists():
+            raise EmbeddingStoreError(f"missing data file {data_file}")
+        expected = rows * dim * _DTYPE().itemsize
+        actual = data_path.stat().st_size
+        if actual != expected:
+            raise EmbeddingStoreError(
+                f"data file {data_file} is {actual} bytes, expected {expected}"
+            )
+        if rows == 0:
+            matrix = np.zeros((0, dim), dtype=_DTYPE)
+        elif mmap:
+            matrix = np.memmap(
+                data_path, dtype=_DTYPE, mode="r", shape=(rows, dim)
+            )
+        else:
+            matrix = np.fromfile(data_path, dtype=_DTYPE).reshape(rows, dim)
+        return cls(
+            matrix=matrix,
+            doc_ids=doc_ids,
+            offsets=offsets,
+            row_hashes=row_hashes,
+            encoder_fingerprint=encoder_fp,
+            construction_fingerprint=construction_fp,
+            extra=dict(manifest.get("extra") or {}),
+        )

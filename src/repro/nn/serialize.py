@@ -8,12 +8,13 @@ from typing import Union
 import numpy as np
 
 from repro.nn.layers import Module
+from repro.storage.atomic import atomic_write_npz
 
 
 def save_weights(module: Module, path: Union[str, Path]) -> None:
-    """Write all named parameters of ``module`` to an .npz file."""
+    """Write all named parameters of ``module`` to an .npz file (atomic)."""
     arrays = {name: tensor.data for name, tensor in module.named_parameters()}
-    np.savez_compressed(str(path), **arrays)
+    atomic_write_npz(path, arrays)
 
 
 def load_weights(module: Module, path: Union[str, Path]) -> None:

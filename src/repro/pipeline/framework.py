@@ -19,12 +19,15 @@ from repro.data.corpus import Corpus
 from repro.data.hotpot import HotpotDataset, HotpotQuestion
 from repro.encoder.minibert import EncoderConfig, MiniBertEncoder
 from repro.encoder.pretrain import MLMPretrainer, PretrainConfig
+from repro.ingest.embedding_store import EmbeddingStore, EmbeddingStoreError
+from repro.ingest.fingerprint import construction_fingerprint
 from repro.pipeline.multihop import DocumentPath, MultiHopConfig, MultiHopRetriever
 from repro.pipeline.path_ranker import PathRanker, PathRankerConfig, PathRankerTrainer
 from repro.retriever.negatives import mine_training_examples
 from repro.retriever.single import SingleRetriever
 from repro.retriever.store import TripleStore, build_triple_store
 from repro.retriever.trainer import RetrieverTrainer, TrainerConfig
+from repro.storage.atomic import atomic_write_npz
 from repro.text.sentences import split_sentences
 from repro.text.tokenize import tokenize
 from repro.text.vocab import Vocab
@@ -49,6 +52,10 @@ class FrameworkConfig:
     multihop: MultiHopConfig = field(default_factory=MultiHopConfig)
     max_train_questions: Optional[int] = None
     max_ranker_questions: int = 200
+    # worker processes for corpus triple extraction during fit(); the
+    # parallel build is byte-identical to the sequential one (see
+    # repro.ingest.pipeline), so this is purely a wall-clock knob
+    ingest_workers: int = 1
     verbose: bool = False
 
 
@@ -72,7 +79,9 @@ class TripleFactRetrieval:
         if cfg.max_train_questions is not None:
             train_questions = train_questions[: cfg.max_train_questions]
 
-        self.store = build_triple_store(corpus, config=cfg.construction)
+        self.store = build_triple_store(
+            corpus, config=cfg.construction, workers=cfg.ingest_workers
+        )
 
         texts = [d.text for d in corpus] + [q.text for q in train_questions]
         vocab = Vocab.from_texts(texts, tokenize)
@@ -163,28 +172,38 @@ class TripleFactRetrieval:
 
     # -- persistence ----------------------------------------------------------
     def save(self, directory: Union[str, Path]) -> None:
-        """Persist the trained system (encoder, heads, triple store).
+        """Persist the trained system (encoder, heads, store, embeddings).
 
         The corpus itself is not saved — pass the same corpus to
         :meth:`load` (corpora are deterministic functions of a world seed).
+        The triple embedding matrix is exported to a versioned
+        ``embeddings/`` store so :meth:`load` warm-starts without a single
+        encoder call. Every artifact write is atomic.
         """
         self._require_fit()
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         self.encoder.save(directory / "encoder")
         self.store.save(directory / "store.json")
-        np.savez_compressed(
+        self.retriever.export_embeddings(
+            construction_fingerprint=construction_fingerprint(
+                self.config.construction, self.store.corpus.titles()
+            )
+        ).save(directory / "embeddings")
+        atomic_write_npz(
             directory / "heads.npz",
-            updater_weight=self.updater.head.weight.data,
-            updater_bias=self.updater.head.bias.data,
-            **(
-                {
-                    "ranker_weight": self.ranker.head.weight.data,
-                    "ranker_bias": self.ranker.head.bias.data,
-                }
-                if self.ranker is not None
-                else {}
-            ),
+            {
+                "updater_weight": self.updater.head.weight.data,
+                "updater_bias": self.updater.head.bias.data,
+                **(
+                    {
+                        "ranker_weight": self.ranker.head.weight.data,
+                        "ranker_bias": self.ranker.head.bias.data,
+                    }
+                    if self.ranker is not None
+                    else {}
+                ),
+            },
         )
 
     @classmethod
@@ -194,7 +213,14 @@ class TripleFactRetrieval:
         corpus: Corpus,
         config: Optional[FrameworkConfig] = None,
     ) -> "TripleFactRetrieval":
-        """Restore a system saved by :meth:`save` over the same corpus."""
+        """Restore a system saved by :meth:`save` over the same corpus.
+
+        Warm start: when the saved ``embeddings/`` store is present and
+        its row hashes + encoder fingerprint still match, no triple is
+        re-encoded — the scoring matrix mmaps straight off disk. A
+        missing, corrupt, or stale store degrades to re-encoding exactly
+        the rows that changed (all of them, in the worst case).
+        """
         directory = Path(directory)
         system = cls(config)
         cfg = system.config
@@ -203,6 +229,12 @@ class TripleFactRetrieval:
         )
         system.store = TripleStore.load(directory / "store.json", corpus)
         system.retriever = SingleRetriever(system.encoder, system.store)
+        try:
+            system.retriever.attach_embeddings(
+                EmbeddingStore.open(directory / "embeddings")
+            )
+        except EmbeddingStoreError:
+            system.retriever.detach_embeddings()
         system.retriever.refresh_embeddings()
         system.updater = QuestionUpdater(system.encoder, cfg.updater)
         heads = np.load(directory / "heads.npz")

@@ -14,6 +14,14 @@ with a single matmul and the per-document aggregation runs as
 aggregate_segments`). The original document-by-document loop survives as
 :meth:`retrieve_by_vector_legacy` — the reference implementation the
 parity tests compare against.
+
+Embedding maintenance is **incremental**: every refresh remembers a
+per-document row hash (the flattened triple texts) plus the encoder
+fingerprint, and the next :meth:`SingleRetriever.refresh_embeddings`
+re-encodes only documents whose rows or encoder changed — everything
+else is reused verbatim. :meth:`SingleRetriever.attach_embeddings` seeds
+that cache from a persisted :class:`repro.ingest.embedding_store.
+EmbeddingStore`, so a warm start re-encodes nothing at all.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.encoder.minibert import MiniBertEncoder
+from repro.ingest.embedding_store import EmbeddingStore
+from repro.ingest.fingerprint import encoder_fingerprint, triples_fingerprint
 from repro.oie.triple import Triple
 from repro.perf import COUNTERS, time_block
 from repro.retriever.store import TripleStore
@@ -75,38 +85,173 @@ class SingleRetriever:
         self._doc_pos: Dict[int, int] = {}
         self._offsets: List[int] = []
         self._offsets_arr: Optional[np.ndarray] = None
+        # dirty-row tracking: what each cached segment was computed from
+        self._row_hashes: Dict[int, str] = {}
+        self._encoder_fp: Optional[str] = None
+        self._attached: Optional[EmbeddingStore] = None
 
     # -- embedding maintenance ------------------------------------------------
-    def refresh_embeddings(self, batch_size: int = 128) -> None:
-        """(Re-)encode the flattened triples of every document.
+    def refresh_embeddings(
+        self, batch_size: int = 128, force: bool = False
+    ) -> int:
+        """(Re-)encode the flattened triples of documents whose rows changed.
 
-        Call after training the encoder; retrieval uses these cached
-        embeddings. Besides the per-document views this builds the flat
-        normalized matrix + offsets that the single-matmul path scores.
+        Call after training the encoder or editing the store; retrieval
+        uses these cached embeddings. Besides the per-document views this
+        builds the flat normalized matrix + offsets that the single-matmul
+        path scores.
+
+        Incremental: a document's cached rows are reused verbatim when its
+        triples hash (:func:`~repro.ingest.fingerprint.triples_fingerprint`)
+        and the encoder fingerprint both match what the rows were computed
+        under — whether cached by a previous refresh or seeded from a
+        persisted store via :meth:`attach_embeddings`. All dirty documents
+        are re-encoded in one encoder pass, so a full refresh stays
+        bitwise-identical to the original always-recompute implementation.
+        Returns the number of rows that were (re-)encoded; ``force=True``
+        recomputes everything.
         """
-        self._embeddings.clear()
-        texts: List[str] = []
-        spans: List[tuple] = []
-        for doc_id in self.store.doc_ids():
-            flattened = self.store.flattened(doc_id)
-            spans.append((doc_id, len(texts), len(texts) + len(flattened)))
-            texts.extend(flattened)
-        matrix = (
-            self.encoder.encode_numpy(texts, batch_size=batch_size)
-            if texts
-            else np.zeros((0, self.encoder.config.dim))
+        with time_block() as elapsed:
+            current_fp = encoder_fingerprint(self.encoder)
+            reuse_ok = not force and current_fp == self._encoder_fp
+            dim = self.encoder.config.dim
+            # (doc_id, n_rows, row_hash, cached-segment-or-None) per doc
+            plan: List[tuple] = []
+            dirty_texts: List[str] = []
+            for doc_id in self.store.doc_ids():
+                flattened = self.store.flattened(doc_id)
+                row_hash = triples_fingerprint(flattened)
+                cached = self._embeddings.get(doc_id) if reuse_ok else None
+                if (
+                    cached is not None
+                    and self._row_hashes.get(doc_id) == row_hash
+                    and cached.shape[0] == len(flattened)
+                ):
+                    plan.append((doc_id, len(flattened), row_hash, cached))
+                else:
+                    plan.append((doc_id, len(flattened), row_hash, None))
+                    dirty_texts.extend(flattened)
+            if dirty_texts:
+                encoded = self.encoder.encode_numpy(
+                    dirty_texts, batch_size=batch_size
+                )
+                COUNTERS.record_encode(len(dirty_texts))
+            else:
+                encoded = np.zeros((0, dim))
+            attached = self._attached
+            if (
+                not dirty_texts
+                and attached is not None
+                and [int(d) for d in attached.doc_ids] == [p[0] for p in plan]
+                and attached.matrix.shape[0] == sum(p[1] for p in plan)
+            ):
+                # clean warm start: score straight off the attached
+                # (possibly memmapped) matrix, no per-segment reassembly
+                matrix = np.asarray(attached.matrix)
+            else:
+                pieces: List[np.ndarray] = []
+                cursor = 0
+                for _, n_rows, _, cached in plan:
+                    if cached is None:
+                        pieces.append(encoded[cursor : cursor + n_rows])
+                        cursor += n_rows
+                    else:
+                        pieces.append(np.asarray(cached))
+                matrix = (
+                    np.concatenate(pieces)
+                    if pieces
+                    else np.zeros((0, dim))
+                )
+            self._embeddings = {}
+            self._doc_order = []
+            self._offsets = []
+            self._row_hashes = {}
+            start = 0
+            for doc_id, n_rows, row_hash, _ in plan:
+                self._embeddings[doc_id] = matrix[start : start + n_rows]
+                self._doc_order.append(doc_id)
+                self._offsets.append(start)
+                self._row_hashes[doc_id] = row_hash
+                start += n_rows
+            self._stacked = matrix
+            self._normed = l2_normalize_rows(matrix)
+            self._doc_pos = {d: i for i, d in enumerate(self._doc_order)}
+            self._offsets_arr = np.asarray(self._offsets, dtype=np.int64)
+            self._encoder_fp = current_fp
+        COUNTERS.record_embed_refresh(
+            n_encoded=len(dirty_texts),
+            n_reused=start - len(dirty_texts),
+            seconds=elapsed(),
         )
-        COUNTERS.record_encode(len(texts))
+        return len(dirty_texts)
+
+    def attach_embeddings(self, embeddings: EmbeddingStore) -> int:
+        """Seed the embedding cache from a persisted :class:`EmbeddingStore`.
+
+        Adopts the store's per-document segments, row hashes and encoder
+        fingerprint so the next :meth:`refresh_embeddings` re-encodes only
+        documents whose rows (or the encoder) changed since the store was
+        written — zero on a clean warm start. Returns the number of rows
+        adopted; a store with the wrong embedding dimension or an
+        inconsistent layout is rejected (returns 0, cache left empty).
+        """
+        self.detach_embeddings()
+        matrix = embeddings.matrix
+        if matrix.ndim != 2 or matrix.shape[1] != self.encoder.config.dim:
+            return 0
+        if len(embeddings.doc_ids) != len(embeddings.offsets):
+            return 0
+        total = int(matrix.shape[0])
+        for index, doc_id in enumerate(embeddings.doc_ids):
+            segment_start = embeddings.offsets[index]
+            segment_stop = (
+                embeddings.offsets[index + 1]
+                if index + 1 < len(embeddings.offsets)
+                else total
+            )
+            if not 0 <= segment_start <= segment_stop <= total:
+                self.detach_embeddings()
+                return 0
+            self._embeddings[int(doc_id)] = matrix[segment_start:segment_stop]
+        self._row_hashes = {
+            int(d): str(h) for d, h in embeddings.row_hashes.items()
+        }
+        self._encoder_fp = embeddings.encoder_fingerprint
+        self._attached = embeddings
+        return total
+
+    def detach_embeddings(self) -> None:
+        """Drop every cached embedding and all dirty-tracking state."""
+        self._embeddings = {}
+        self._stacked = None
+        self._normed = None
         self._doc_order = []
+        self._doc_pos = {}
         self._offsets = []
-        for doc_id, start, stop in spans:
-            self._embeddings[doc_id] = matrix[start:stop]
-            self._doc_order.append(doc_id)
-            self._offsets.append(start)
-        self._stacked = matrix
-        self._normed = l2_normalize_rows(matrix)
-        self._doc_pos = {d: i for i, d in enumerate(self._doc_order)}
-        self._offsets_arr = np.asarray(self._offsets, dtype=np.int64)
+        self._offsets_arr = None
+        self._row_hashes = {}
+        self._encoder_fp = None
+        self._attached = None
+
+    def export_embeddings(
+        self, construction_fingerprint: str = ""
+    ) -> EmbeddingStore:
+        """Snapshot the current stacked matrix as a persistable store."""
+        self._ensure_fresh()
+        return EmbeddingStore(
+            matrix=np.ascontiguousarray(self._stacked, dtype=np.float64),
+            doc_ids=[int(d) for d in self._doc_order],
+            offsets=[int(o) for o in self._offsets],
+            row_hashes=dict(self._row_hashes),
+            encoder_fingerprint=(
+                self._encoder_fp or encoder_fingerprint(self.encoder)
+            ),
+            construction_fingerprint=construction_fingerprint,
+        )
+
+    def ensure_ready(self) -> None:
+        """Build (or finish warm-starting) the scoring matrices if needed."""
+        self._ensure_fresh()
 
     def _ensure_fresh(self) -> None:
         if self._stacked is None:

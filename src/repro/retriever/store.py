@@ -16,6 +16,7 @@ from repro.data.corpus import Corpus, Document
 from repro.index.entity_index import EntityIndex
 from repro.oie.triple import Triple
 from repro.oie.union import UnionExtractor
+from repro.storage.atomic import atomic_write_text
 from repro.triples.construct import ConstructionConfig, TripleSetConstructor
 
 
@@ -52,7 +53,12 @@ class TripleStore:
 
     # -- persistence ------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        """Serialize all triple sets to a JSON file."""
+        """Serialize all triple sets to a JSON file (written atomically).
+
+        Serialization follows insertion order, so two stores built by
+        putting the same triples in the same doc-id order save to
+        byte-identical files — the property the ingest parity suite pins.
+        """
         payload = {
             str(doc_id): [
                 {
@@ -68,7 +74,7 @@ class TripleStore:
             ]
             for doc_id, triples in self._triples.items()
         }
-        Path(path).write_text(json.dumps(payload))
+        atomic_write_text(Path(path), json.dumps(payload))
 
     @classmethod
     def load(cls, path: Union[str, Path], corpus: Corpus) -> "TripleStore":
@@ -99,26 +105,30 @@ def build_triple_store(
     linker: Optional[EntityIndex] = None,
     config: Optional[ConstructionConfig] = None,
     extractor: Optional[UnionExtractor] = None,
+    workers: int = 1,
 ) -> TripleStore:
     """Run extraction + Algorithm 1 over the whole corpus.
 
     When no ``linker`` is given, one is built from the corpus titles (the
     title dictionary is exactly the entity universe of a Wikipedia dump).
+    ``workers > 1`` fans extraction out over a process pool; the result
+    is byte-identical to the sequential build (deterministic merge in
+    ascending doc-id order — see :mod:`repro.ingest.pipeline`).
     """
+    from repro.ingest.pipeline import extract_corpus_triples
+
     if linker is None:
         linker = EntityIndex(corpus.titles())
         for document in corpus:
             linker.add_document(document.doc_id, document.text)
-    constructor = TripleSetConstructor(
-        config=config, linker=linker, extractor=extractor
+    triples_by_doc = extract_corpus_triples(
+        corpus,
+        linker=linker,
+        config=config,
+        extractor=extractor,
+        workers=workers,
     )
     store = TripleStore(corpus)
-    for document in corpus:
-        result = constructor.construct_from_text(
-            document.text,
-            title=document.title,
-            entity_kind=document.entity.kind,
-            doc_entities=linker.entities_of(document.doc_id),
-        )
-        store.put(document.doc_id, result.triples)
+    for doc_id, triples in triples_by_doc.items():
+        store.put(doc_id, triples)
     return store

@@ -60,6 +60,10 @@ class ServiceConfig:
     default_k: int = 8  # results per request unless overridden
     default_deadline_s: Optional[float] = None  # per-request deadline
     latency_reservoir: int = 65536  # latency samples kept for percentiles
+    # build the retriever's scoring matrices inside start() instead of on
+    # the first request's worker thread — a warm-started (attached)
+    # retriever finishes this without any encoder call
+    warm_start: bool = True
 
 
 class RetrievalService:
@@ -98,10 +102,22 @@ class RetrievalService:
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "RetrievalService":
-        """Spawn the worker threads (idempotent)."""
+        """Spawn the worker threads (idempotent).
+
+        With ``warm_start`` (the default) the retriever's scoring
+        matrices are built here, so the first request never pays the
+        build — and never pays encoding at all when the retriever was
+        attached to a persisted embedding store.
+        """
         with self._state_lock:
             if self._running:
                 return self
+            if self.config.warm_start:
+                # duck-typed: test stubs and minimal retrievers without
+                # an ensure_ready() simply start cold
+                ensure_ready = getattr(self.retriever, "ensure_ready", None)
+                if ensure_ready is not None:
+                    ensure_ready()
             self._running = True
             self._threads = [
                 threading.Thread(

@@ -1,0 +1,15 @@
+"""Crash-safe artifact persistence primitives."""
+
+from repro.storage.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+    atomic_write_text,
+)
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_npz",
+    "atomic_write_text",
+]

@@ -116,9 +116,11 @@ class Vocab:
 
     # -- persistence -----------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        """Serialize the vocabulary to a JSON file."""
+        """Serialize the vocabulary to a JSON file (written atomically)."""
+        from repro.storage.atomic import atomic_write_json
+
         payload = {"tokens": self._id_to_token[len(SPECIAL_TOKENS):]}
-        Path(path).write_text(json.dumps(payload))
+        atomic_write_json(Path(path), payload)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Vocab":

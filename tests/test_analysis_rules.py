@@ -118,6 +118,16 @@ VIOLATIONS = {
             return time.time()  ##HERE##
         """,
     ),
+    "nonatomic-artifact-write": (
+        "pipeline/save.py",
+        """
+        import json
+
+
+        def persist(report, out_dir):
+            (out_dir / "report.json").write_text(json.dumps(report))  ##HERE##
+        """,
+    ),
 }
 
 # rule id -> compliant rewrite of the same logic; must produce no finding.
@@ -218,6 +228,16 @@ COMPLIANT = {
 
         def stamp():
             return time.perf_counter()
+        """,
+    ),
+    "nonatomic-artifact-write": (
+        "pipeline/save.py",
+        """
+        from repro.storage.atomic import atomic_write_json
+
+
+        def persist(report, out_dir):
+            atomic_write_json(out_dir / "report.json", report)
         """,
     ),
 }
@@ -381,6 +401,76 @@ class TestScoping:
         ).strip("\n") + "\n"
         report = _lint(
             tmp_path, "serve/clock.py", source, select=["wall-clock-timing"]
+        )
+        assert report.findings == []
+
+    def test_nonatomic_write_exempts_ordinary_test_files(self, tmp_path):
+        _, raw = VIOLATIONS["nonatomic-artifact-write"]
+        source, _ = _render(raw, "")
+        report = _lint(
+            tmp_path, "tests/test_save.py", source,
+            select=["nonatomic-artifact-write"],
+        )
+        assert report.findings == []
+
+    def test_nonatomic_write_covers_benchmark_test_files(self, tmp_path):
+        # benchmark test modules are exactly the BENCH_*.json writers
+        _, raw = VIOLATIONS["nonatomic-artifact-write"]
+        source, _ = _render(raw, "")
+        report = _lint(
+            tmp_path, "benchmarks/test_bench.py", source,
+            select=["nonatomic-artifact-write"],
+        )
+        assert [f.rule_id for f in report.findings] == [
+            "nonatomic-artifact-write"
+        ]
+
+    def test_nonatomic_write_exempts_the_atomic_helper(self, tmp_path):
+        _, raw = VIOLATIONS["nonatomic-artifact-write"]
+        source, _ = _render(raw, "")
+        report = _lint(
+            tmp_path, "storage/atomic.py", source,
+            select=["nonatomic-artifact-write"],
+        )
+        assert report.findings == []
+
+    def test_nonatomic_write_traces_module_level_path_constant(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            from pathlib import Path
+
+            OUT_PATH = Path("reports") / "BENCH_x.json"
+
+
+            def persist(payload):
+                OUT_PATH.write_bytes(payload)
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "perf/report.py", source,
+            select=["nonatomic-artifact-write"],
+        )
+        assert [f.rule_id for f in report.findings] == [
+            "nonatomic-artifact-write"
+        ]
+
+    def test_nonatomic_write_allows_buffer_np_save(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import io
+
+            import numpy as np
+
+
+            def serialize(array):
+                buffer = io.BytesIO()
+                np.save(buffer, array)
+                return buffer.getvalue()
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "encoder/weights.py", source,
+            select=["nonatomic-artifact-write"],
         )
         assert report.findings == []
 

@@ -1,0 +1,370 @@
+"""Parity + incremental-invalidation suite for ``repro.ingest``.
+
+Pins the two guarantees the ingestion subsystem makes:
+
+* **Deterministic merge** — extraction fanned out over a worker pool is
+  byte-identical to the sequential build, for any worker count.
+* **Precise invalidation** — an incremental rebuild re-extracts exactly
+  the edited documents and re-encodes exactly the dirty embedding rows;
+  everything reused is reused *bitwise*.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.corpus import Corpus, Document
+from repro.data.world import Entity
+from repro.encoder.minibert import EncoderConfig, MiniBertEncoder
+from repro.ingest import (
+    EMBEDDINGS_DIR,
+    EmbeddingStore,
+    EmbeddingStoreError,
+    IngestPipeline,
+    extract_corpus_triples,
+)
+from repro.retriever.single import SingleRetriever
+from repro.retriever.store import build_triple_store
+from repro.text import Vocab, tokenize
+from repro.triples.construct import ConstructionConfig
+
+_MINI_DOCS = [
+    ("Alpha Club", "club",
+     "Alpha Club is a club in Delta City. Alpha Club was founded in 1901."),
+    ("Beta Band", "band",
+     "Beta Band is a band from Delta City. Beta Band recorded Gamma Album."),
+    ("Delta City", "city",
+     "Delta City is a city. Delta City hosts Alpha Club and Beta Band."),
+    ("Gamma Album", "album",
+     "Gamma Album is an album. Gamma Album was recorded by Beta Band."),
+    ("Epsilon Hall", "venue",
+     "Epsilon Hall is a venue in Delta City. Epsilon Hall opened in 1950."),
+]
+
+
+def _mini_corpus(texts=None):
+    """A tiny hand-made corpus; ``texts`` overrides bodies by doc id."""
+    texts = texts or {}
+    documents = []
+    for doc_id, (title, kind, body) in enumerate(_MINI_DOCS):
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                title=title,
+                text=texts.get(doc_id, body),
+                entity=Entity(uid=f"e{doc_id}", name=title, kind=kind),
+            )
+        )
+    return Corpus(documents)
+
+
+def _mini_encoder(corpus, dim=16, seed=7):
+    vocab = Vocab.from_texts([d.text for d in corpus], tokenize)
+    return MiniBertEncoder(
+        vocab,
+        EncoderConfig(dim=dim, n_layers=1, n_heads=2, max_len=24, seed=seed),
+    )
+
+
+def _store_bytes(store, tmp_path, name):
+    path = tmp_path / name
+    store.save(path)
+    return path.read_bytes()
+
+
+def _segments(cache_dir):
+    """doc_id -> raw row bytes of the persisted embedding store."""
+    es = EmbeddingStore.open(cache_dir / EMBEDDINGS_DIR)
+    return {
+        doc_id: np.asarray(es.segment(index)).tobytes()
+        for index, doc_id in enumerate(es.doc_ids)
+    }
+
+
+class TestParallelParity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_store_bytes_identical_to_sequential(
+        self, corpus, store, tmp_path, workers
+    ):
+        parallel = build_triple_store(corpus, workers=workers)
+        assert _store_bytes(parallel, tmp_path, f"par{workers}.json") == (
+            _store_bytes(store, tmp_path, "seq.json")
+        )
+
+    def test_extract_subset_respects_doc_ids(self, corpus):
+        wanted = [3, 1]
+        result = extract_corpus_triples(corpus, doc_ids=wanted)
+        assert list(result) == sorted(wanted)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_pipeline_artifacts_identical_across_worker_counts(
+        self, tmp_path, workers
+    ):
+        corpus = _mini_corpus()
+        encoder = _mini_encoder(corpus)
+        seq_dir = tmp_path / "seq"
+        par_dir = tmp_path / "par"
+        IngestPipeline(corpus, workers=1).run(seq_dir, encoder=encoder)
+        IngestPipeline(corpus, workers=workers).run(par_dir, encoder=encoder)
+        assert (seq_dir / "store.json").read_bytes() == (
+            par_dir / "store.json"
+        ).read_bytes()
+        assert _segments(seq_dir) == _segments(par_dir)
+
+    def test_mini_corpus_actually_extracts(self):
+        store = build_triple_store(_mini_corpus())
+        assert store.total_triples() > 0
+
+
+class TestIncrementalInvalidation:
+    def _ingest(self, corpus, encoder, cache_dir, **kwargs):
+        return IngestPipeline(corpus, **kwargs).run(cache_dir, encoder=encoder)
+
+    def test_clean_rerun_extracts_and_encodes_nothing(self, tmp_path):
+        corpus = _mini_corpus()
+        encoder = _mini_encoder(corpus)
+        cache = tmp_path / "cache"
+        first = self._ingest(corpus, encoder, cache)
+        assert first.stats.docs_extracted == len(corpus)
+        second = self._ingest(corpus, encoder, cache)
+        assert second.stats.docs_extracted == 0
+        assert second.stats.docs_reused == len(corpus)
+        assert second.stats.rows_encoded == 0
+        assert second.stats.rows_reused == second.stats.rows_total
+
+    def test_doc_edit_dirties_exactly_that_doc(self, tmp_path):
+        corpus = _mini_corpus()
+        encoder = _mini_encoder(corpus)
+        cache = tmp_path / "cache"
+        self._ingest(corpus, encoder, cache)
+        before = _segments(cache)
+        edited = _mini_corpus(
+            texts={1: "Beta Band is a band. Beta Band split up in 1999."}
+        )
+        result = self._ingest(edited, encoder, cache)
+        assert result.stats.docs_extracted == 1
+        assert result.stats.docs_reused == len(corpus) - 1
+        after = _segments(cache)
+        for doc_id in (0, 2, 3, 4):
+            assert after[doc_id] == before[doc_id]  # reused bitwise
+
+    def test_config_change_dirties_every_extraction(self, tmp_path):
+        corpus = _mini_corpus()
+        encoder = _mini_encoder(corpus)
+        cache = tmp_path / "cache"
+        self._ingest(corpus, encoder, cache)
+        result = self._ingest(
+            corpus, encoder, cache,
+            construction=ConstructionConfig(threshold_size=8),
+        )
+        assert result.stats.docs_extracted == len(corpus)
+        assert result.stats.docs_reused == 0
+
+    def test_encoder_change_dirties_rows_but_not_extraction(self, tmp_path):
+        corpus = _mini_corpus()
+        cache = tmp_path / "cache"
+        first = self._ingest(corpus, _mini_encoder(corpus, seed=7), cache)
+        assert first.stats.rows_encoded == first.stats.rows_total
+        result = self._ingest(corpus, _mini_encoder(corpus, seed=8), cache)
+        assert result.stats.docs_extracted == 0
+        assert result.stats.rows_encoded == result.stats.rows_total
+        assert result.stats.rows_reused == 0
+
+    def test_non_incremental_rebuilds_everything(self, tmp_path):
+        corpus = _mini_corpus()
+        encoder = _mini_encoder(corpus)
+        cache = tmp_path / "cache"
+        self._ingest(corpus, encoder, cache)
+        result = self._ingest(corpus, encoder, cache, incremental=False)
+        assert result.stats.docs_extracted == len(corpus)
+
+    def test_corrupt_manifest_degrades_to_full_rebuild(self, tmp_path):
+        corpus = _mini_corpus()
+        encoder = _mini_encoder(corpus)
+        cache = tmp_path / "cache"
+        self._ingest(corpus, encoder, cache)
+        (cache / "ingest_manifest.json").write_text("{not json")
+        result = self._ingest(corpus, encoder, cache)
+        assert result.stats.docs_extracted == len(corpus)
+
+    _case = itertools.count()
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        edits=st.sets(
+            st.integers(min_value=0, max_value=len(_MINI_DOCS) - 1),
+            max_size=len(_MINI_DOCS),
+        )
+    )
+    def test_any_edit_subset_dirties_exactly_those_docs(self, tmp_path, edits):
+        cache = tmp_path / f"case{next(self._case)}"
+        corpus = _mini_corpus()
+        encoder = _mini_encoder(corpus)
+        self._ingest(corpus, encoder, cache)
+        before = _segments(cache)
+        edited = _mini_corpus(
+            texts={
+                doc_id: _MINI_DOCS[doc_id][2] + " It is widely known."
+                for doc_id in edits
+            }
+        )
+        result = self._ingest(edited, encoder, cache)
+        assert result.stats.docs_extracted == len(edits)
+        assert result.stats.docs_reused == len(corpus) - len(edits)
+        after = _segments(cache)
+        for doc_id in set(range(len(corpus))) - edits:
+            assert after[doc_id] == before[doc_id]
+
+
+class TestEmbeddingStore:
+    def _build(self, rows=7, dim=4, n_docs=3):
+        rng = np.random.RandomState(3)
+        matrix = rng.randn(rows, dim)
+        offsets = [0, 3, 5][:n_docs]
+        return EmbeddingStore(
+            matrix=matrix,
+            doc_ids=list(range(n_docs)),
+            offsets=offsets,
+            row_hashes={i: f"h{i}" for i in range(n_docs)},
+            encoder_fingerprint="enc-fp",
+            construction_fingerprint="con-fp",
+        )
+
+    def test_roundtrip(self, tmp_path):
+        original = self._build()
+        original.save(tmp_path)
+        loaded = EmbeddingStore.open(tmp_path)
+        assert np.array_equal(np.asarray(loaded.matrix), original.matrix)
+        assert loaded.doc_ids == original.doc_ids
+        assert loaded.offsets == original.offsets
+        assert loaded.row_hashes == original.row_hashes
+        assert loaded.encoder_fingerprint == "enc-fp"
+        assert loaded.construction_fingerprint == "con-fp"
+
+    def test_segments_cover_matrix(self, tmp_path):
+        store = self._build()
+        store.save(tmp_path)
+        loaded = EmbeddingStore.open(tmp_path)
+        stacked = np.concatenate(
+            [loaded.segment(i) for i in range(len(loaded.doc_ids))]
+        )
+        assert np.array_equal(stacked, store.matrix)
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(EmbeddingStoreError):
+            EmbeddingStore.open(tmp_path / "nope")
+
+    def test_version_mismatch_raises(self, tmp_path):
+        import json
+
+        self._build().save(tmp_path)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(EmbeddingStoreError, match="version"):
+            EmbeddingStore.open(tmp_path)
+
+    def test_truncated_data_file_raises(self, tmp_path):
+        self._build().save(tmp_path)
+        data_file = next(tmp_path.glob("embeddings-*.f64"))
+        data_file.write_bytes(data_file.read_bytes()[:-8])
+        with pytest.raises(EmbeddingStoreError, match="bytes"):
+            EmbeddingStore.open(tmp_path)
+
+    def test_stale_generations_are_collected(self, tmp_path):
+        first = self._build()
+        first.save(tmp_path)
+        second = self._build()
+        second.matrix = second.matrix + 1.0
+        second.save(tmp_path)
+        remaining = list(tmp_path.glob("embeddings-*.f64"))
+        assert len(remaining) == 1
+        loaded = EmbeddingStore.open(tmp_path)
+        assert np.array_equal(np.asarray(loaded.matrix), second.matrix)
+
+    def test_empty_store_roundtrips(self, tmp_path):
+        empty = EmbeddingStore(
+            matrix=np.zeros((0, 4)),
+            doc_ids=[],
+            offsets=[],
+            row_hashes={},
+            encoder_fingerprint="enc-fp",
+        )
+        empty.save(tmp_path)
+        loaded = EmbeddingStore.open(tmp_path)
+        assert loaded.matrix.shape == (0, 4)
+        assert loaded.doc_ids == []
+
+
+class TestRetrieverIncrementalRefresh:
+    def test_full_refresh_matches_legacy_bitwise(self):
+        corpus = _mini_corpus()
+        encoder = _mini_encoder(corpus)
+        store = build_triple_store(corpus)
+        texts = []
+        for doc_id in store.doc_ids():
+            texts.extend(store.flattened(doc_id))
+        expected = encoder.encode_numpy(texts, batch_size=128)
+        retriever = SingleRetriever(encoder, store)
+        encoded = retriever.refresh_embeddings()
+        assert encoded == len(texts)
+        assert retriever._stacked.tobytes() == expected.tobytes()
+
+    def test_second_refresh_encodes_nothing(self):
+        corpus = _mini_corpus()
+        retriever = SingleRetriever(
+            _mini_encoder(corpus), build_triple_store(corpus)
+        )
+        assert retriever.refresh_embeddings() > 0
+        assert retriever.refresh_embeddings() == 0
+
+    def test_force_reencodes_everything(self):
+        corpus = _mini_corpus()
+        retriever = SingleRetriever(
+            _mini_encoder(corpus), build_triple_store(corpus)
+        )
+        total = retriever.refresh_embeddings()
+        assert retriever.refresh_embeddings(force=True) == total
+
+    def test_store_edit_reencodes_only_that_doc(self):
+        corpus = _mini_corpus()
+        encoder = _mini_encoder(corpus)
+        store = build_triple_store(corpus)
+        retriever = SingleRetriever(encoder, store)
+        retriever.refresh_embeddings()
+        assert len(store.triples(0)) >= 2  # truncation below must dirty it
+        kept = {
+            doc_id: retriever.doc_embeddings(doc_id).copy()
+            for doc_id in store.doc_ids()
+            if doc_id != 0
+        }
+        store.put(0, store.triples(0)[:1])
+        encoded = retriever.refresh_embeddings()
+        assert encoded == 1
+        for doc_id, previous in kept.items():
+            assert retriever.doc_embeddings(doc_id).tobytes() == (
+                previous.tobytes()
+            )
+
+    def test_attach_rejects_wrong_dim(self, tmp_path):
+        corpus = _mini_corpus()
+        retriever = SingleRetriever(
+            _mini_encoder(corpus, dim=16), build_triple_store(corpus)
+        )
+        wrong = EmbeddingStore(
+            matrix=np.zeros((2, 8)),
+            doc_ids=[0],
+            offsets=[0],
+            row_hashes={0: "x"},
+            encoder_fingerprint="fp",
+        )
+        assert retriever.attach_embeddings(wrong) == 0
+        assert retriever._embeddings == {}
