@@ -1,0 +1,133 @@
+"""Micro-benchmark: IVF-pruned sharded retrieval vs exact scoring at 100k.
+
+Builds a 100k-document embedding world (clustered synthetic vectors —
+documents drawn around latent centers, queries perturbed from documents,
+one triple row per document) and runs the same query set through two
+:class:`repro.shard.ShardPlan` configurations:
+
+* **exact** — a single shard, so every query pays one full ``1 x 100k``
+  matmul (the unsharded cost model), and
+* **sharded** — ``N_SHARDS`` centroid shards probed at ``NPROBE``, so a
+  query scores 16 centroids and then only ~``NPROBE/N_SHARDS`` of the
+  rows.
+
+Both paths share the scoring/merge code, so the comparison isolates the
+centroid pruning. The gates encode the acceptance bar from the sharding
+issue: recall@10 >= 0.95 against exact results, and pruned p50 latency
+strictly below the exact baseline.
+
+Writes ``BENCH_sharded.json`` next to this file. Marked ``perf`` +
+``sharded``; tier-1 (``testpaths = tests``) never collects it.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.retriever.strategies import ScoreStrategy, l2_normalize_rows
+from repro.shard import ShardPlan, recall_at_k, topk_doc_order
+from repro.storage.atomic import atomic_write_json
+
+pytestmark = [pytest.mark.perf, pytest.mark.sharded]
+
+N_DOCS = 100_000
+DIM = 32
+N_CENTERS = 64
+N_SHARDS = 16
+NPROBE = 5
+N_QUERIES = 64
+K = 10
+SEED = 47
+OUT_PATH = Path(__file__).parent / "BENCH_sharded.json"
+
+
+@pytest.fixture(scope="module")
+def bench_setup():
+    """(normalized doc matrix, normalized query matrix), clustered."""
+    rng = np.random.RandomState(SEED)
+    centers = l2_normalize_rows(rng.randn(N_CENTERS, DIM))
+    labels = rng.randint(N_CENTERS, size=N_DOCS)
+    docs = l2_normalize_rows(
+        centers[labels] + 0.18 * rng.randn(N_DOCS, DIM)
+    )
+    anchors = rng.randint(N_DOCS, size=N_QUERIES)
+    queries = l2_normalize_rows(
+        docs[anchors] + 0.08 * rng.randn(N_QUERIES, DIM)
+    )
+    return docs, queries
+
+
+def _run(plan, queries, strategy, nprobe):
+    """Per-query top-K ids and latencies through one plan configuration."""
+    top_ids = []
+    latencies = []
+    for query in queries:
+        start = time.perf_counter()
+        result = plan.search(query[None, :], strategy, nprobe=nprobe)[0]
+        order = topk_doc_order(result.scores, result.doc_ids, K)
+        latencies.append(time.perf_counter() - start)
+        top_ids.append(result.doc_ids[order])
+    return top_ids, np.asarray(latencies)
+
+
+def test_sharded_pruning_speedup_and_recall(bench_setup):
+    docs, queries = bench_setup
+    doc_ids = np.arange(N_DOCS, dtype=np.int64)
+    offsets = np.arange(N_DOCS, dtype=np.int64)  # one triple row per doc
+    strategy = ScoreStrategy()
+
+    exact_plan = ShardPlan.build(docs, doc_ids, offsets, 1, mode="range")
+    sharded_plan = ShardPlan.build(
+        docs, doc_ids, offsets, N_SHARDS, mode="centroid"
+    )
+    occupied = [s for s in sharded_plan.shards if len(s)]
+    assert sharded_plan.total_docs == N_DOCS
+    assert len(occupied) == N_SHARDS, "centroid k-means collapsed shards"
+
+    # warm both paths (first-touch page faults, BLAS thread spin-up)
+    _run(exact_plan, queries[:2], strategy, None)
+    _run(sharded_plan, queries[:2], strategy, NPROBE)
+
+    exact_ids, exact_lat = _run(exact_plan, queries, strategy, None)
+    sharded_ids, sharded_lat = _run(sharded_plan, queries, strategy, NPROBE)
+
+    recalls = [
+        recall_at_k(approx, exact)
+        for approx, exact in zip(sharded_ids, exact_ids)
+    ]
+    mean_recall = float(np.mean(recalls))
+    exact_p50 = float(np.percentile(exact_lat, 50))
+    sharded_p50 = float(np.percentile(sharded_lat, 50))
+    rows_scanned = sum(
+        shard.n_rows
+        for shard in sharded_plan.shards
+        if len(shard)
+    )
+
+    payload = {
+        "n_docs": N_DOCS,
+        "dim": DIM,
+        "n_shards": N_SHARDS,
+        "nprobe": NPROBE,
+        "n_queries": N_QUERIES,
+        "k": K,
+        "mean_recall_at_k": mean_recall,
+        "min_recall_at_k": float(np.min(recalls)),
+        "exact_p50_ms": exact_p50 * 1e3,
+        "sharded_p50_ms": sharded_p50 * 1e3,
+        "speedup_p50": exact_p50 / sharded_p50 if sharded_p50 else 0.0,
+        "total_rows": int(rows_scanned),
+        "shard_sizes": [len(s) for s in sharded_plan.shards],
+    }
+    atomic_write_json(OUT_PATH, payload, indent=2)
+    print(
+        f"\nsharded retrieval @ {N_DOCS} docs: exact p50 "
+        f"{exact_p50 * 1e3:.2f} ms, nprobe={NPROBE}/{N_SHARDS} p50 "
+        f"{sharded_p50 * 1e3:.2f} ms "
+        f"({payload['speedup_p50']:.1f}x), recall@{K} {mean_recall:.3f}"
+    )
+    # acceptance bars from the sharding issue
+    assert mean_recall >= 0.95, payload
+    assert sharded_p50 < exact_p50, payload

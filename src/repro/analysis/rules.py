@@ -444,6 +444,71 @@ class UnnormalizedMatmul(Rule):
 
 
 # ---------------------------------------------------------------------------
+# unordered-topk
+# ---------------------------------------------------------------------------
+
+# retrieval code that ranks: the hot paths plus the sharded merge layer
+TOPK_DIRS = HOT_PATH_DIRS | {"shard"}
+_TIEBREAK_MARKERS = frozenset({"lexsort", "topk_doc_order"})
+
+
+@register
+class UnorderedTopk(Rule):
+    """Bare ``argpartition`` top-k has no deterministic tie order.
+
+    ``np.argpartition`` returns the top-k *set* in an arbitrary,
+    platform-dependent order, and tied scores at the k boundary make even
+    the set ambiguous. The PR-6 sharding work depends on every ranking
+    site using the (score desc, doc id asc) total order — otherwise
+    sharded and unsharded results diverge on ties and the byte-identical
+    parity guarantee breaks. Retrieval code must rank through
+    ``repro.shard.merge.topk_doc_order`` (or apply an explicit
+    ``np.lexsort`` tie-break in the same function).
+    """
+
+    id = "unordered-topk"
+    description = (
+        "argpartition top-k without a deterministic tie-break; rank "
+        "through topk_doc_order (score desc, doc id asc)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(ctx.dir_parts & TOPK_DIRS) and not ctx.is_test_file
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            partition_calls = [
+                sub
+                for sub in _walk_shallow(node)
+                if isinstance(sub, ast.Call)
+                and isinstance(sub.func, (ast.Attribute, ast.Name))
+                and (
+                    sub.func.attr
+                    if isinstance(sub.func, ast.Attribute)
+                    else sub.func.id
+                )
+                == "argpartition"
+            ]
+            if not partition_calls:
+                continue
+            references = set()
+            for stmt in node.body:
+                references.update(_identifiers(stmt))
+            if references & _TIEBREAK_MARKERS:
+                continue
+            first = min(partition_calls, key=lambda call: call.lineno)
+            yield self.finding(
+                ctx,
+                first,
+                f"{node.name}() selects top-k with argpartition but never "
+                "orders ties; rank through topk_doc_order (score desc, "
+                "doc id asc) or add an explicit lexsort tie-break",
+            )
+
+
+# ---------------------------------------------------------------------------
 # shadowed-builtin-id
 # ---------------------------------------------------------------------------
 

@@ -141,6 +141,8 @@ class DenseRetriever:
 
     def _top_k(self, scores, k, exclude):
         excluded = set(exclude or ())
+        # stable sort on -scores: ties keep input order = ascending doc
+        # id, the same (score desc, id asc) total order as topk_doc_order
         order = np.argsort(-scores, kind="stable")
         out: List[Tuple[int, float]] = []
         for index in order:

@@ -121,6 +121,25 @@ def cmd_ingest(args) -> int:
         f"ingested {result.stats.docs_total} docs "
         f"({result.stats.triples_total} triples) into {args.out}"
     )
+    if args.shards:
+        if result.embeddings is None:
+            print(
+                "error: --shards requires --encode (no embedding store "
+                "to split)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.shard import ShardedEmbeddingStore
+
+        sharded = ShardedEmbeddingStore.split(
+            result.embeddings, args.shards, mode=args.shard_mode
+        )
+        shards_dir = Path(args.out) / "shards"
+        sharded.save(shards_dir)
+        print(
+            f"sharded {sharded.total_docs} docs into {sharded.n_shards} "
+            f"{sharded.mode} shard(s) under {shards_dir}"
+        )
     if args.stats:
         print(result.stats.summary())
     return 0
@@ -249,6 +268,13 @@ def cmd_serve_bench(args) -> int:
     if not questions:
         print("error: no queries to replay", file=sys.stderr)
         return 2
+    if args.shards:
+        system.retriever.build_shards(args.shards, mode=args.shard_mode)
+    elif args.nprobe is not None:
+        print(
+            "error: --nprobe requires --shards", file=sys.stderr
+        )
+        return 2
     config = ServiceConfig(
         max_batch_size=args.batch_size,
         max_wait_ms=args.wait_ms,
@@ -256,6 +282,7 @@ def cmd_serve_bench(args) -> int:
         workers=args.workers,
         cache_size=args.cache_size,
         default_k=args.k,
+        default_nprobe=args.nprobe,
     )
     service = RetrievalService(
         system.retriever, multihop=system.multihop, config=config
@@ -346,6 +373,16 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--dim", type=int, default=96,
                         help="encoder dimension when --encode is given")
     ingest.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="also split the embedding store into N shard stores under "
+        "OUT/shards (requires --encode)",
+    )
+    ingest.add_argument(
+        "--shard-mode", choices=("range", "centroid"), default="range",
+        help="document-to-shard assignment: contiguous doc-id ranges or "
+        "coarse k-means centroids (better pruned-recall)",
+    )
+    ingest.add_argument(
         "--stats", action="store_true",
         help="print per-stage ingest counters and timings",
     )
@@ -433,6 +470,18 @@ def build_parser() -> argparse.ArgumentParser:
                              help="service worker threads")
     serve_bench.add_argument("--cache-size", type=int, default=1024,
                              help="result cache capacity (0 disables)")
+    serve_bench.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="shard the scoring matrix into N shards before serving",
+    )
+    serve_bench.add_argument(
+        "--shard-mode", choices=("range", "centroid"), default="range",
+        help="document-to-shard assignment when --shards is given",
+    )
+    serve_bench.add_argument(
+        "--nprobe", type=int, default=None,
+        help="shards probed per request (default: all = exact)",
+    )
     serve_bench.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="stats output format",

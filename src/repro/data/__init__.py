@@ -10,6 +10,8 @@ Wikipedia-style world that preserves the *shape* of the retrieval problem:
 * :mod:`repro.data.corpus` — the document collection abstraction,
 * :mod:`repro.data.hotpot` — bridge / comparison two-hop questions with
   gold document paths (HotpotQA-style),
+* :mod:`repro.data.stream` — O(1)-memory streamed generation of 100k+
+  seeded documents for corpus-scale (sharded) retrieval,
 * :mod:`repro.data.wikihop` — (entity, relation, ?) queries with candidate
   answers and support documents (Wikihop-style).
 """
@@ -18,6 +20,7 @@ from repro.data.world import World, WorldConfig, Entity, Fact
 from repro.data.corpus import Corpus, Document
 from repro.data.documents import build_corpus
 from repro.data.hotpot import HotpotDataset, HotpotQuestion, build_hotpot_dataset
+from repro.data.stream import StreamConfig, document_at, stream_documents
 from repro.data.wikihop import WikihopDataset, WikihopQuery, build_wikihop_dataset
 
 __all__ = [
@@ -28,6 +31,9 @@ __all__ = [
     "Corpus",
     "Document",
     "build_corpus",
+    "StreamConfig",
+    "document_at",
+    "stream_documents",
     "HotpotDataset",
     "HotpotQuestion",
     "build_hotpot_dataset",

@@ -22,6 +22,14 @@ point at it, then stale generations are garbage-collected. A crash
 between any two steps leaves a fully consistent (old or new) store.
 Loads default to ``np.memmap`` so a multi-GB matrix warm-starts without
 reading it eagerly; pages fault in as retrieval touches them.
+
+GC keeps a one-generation grace window: a reader that loaded the
+previous manifest an instant before a writer replaced it must still find
+the data file that manifest names, so ``save`` records the outgoing
+generation as ``grace_file`` and only collects it on the save *after*
+next. ``open`` additionally retries once when the data file vanishes
+between the manifest read and the memmap — the signature of racing an
+even faster writer — by re-reading the (by then newer) manifest.
 """
 
 from __future__ import annotations
@@ -41,8 +49,21 @@ STORE_VERSION = 1
 _DTYPE = np.float64
 
 
+def _attach_matrix(
+    data_path: Path, rows: int, dim: int, mmap: bool
+) -> np.ndarray:
+    """Map or read the raw matrix file (module-level so tests can hook it)."""
+    if mmap:
+        return np.memmap(data_path, dtype=_DTYPE, mode="r", shape=(rows, dim))
+    return np.fromfile(data_path, dtype=_DTYPE).reshape(rows, dim)
+
+
 class EmbeddingStoreError(RuntimeError):
     """The on-disk store is missing, corrupt, or from another version."""
+
+
+class _DataFileVanished(Exception):
+    """Internal: the manifest's data file disappeared mid-open (GC race)."""
 
 
 @dataclass
@@ -78,20 +99,43 @@ class EmbeddingStore:
 
     # -- persistence -----------------------------------------------------
     def save(self, directory: Union[str, Path]) -> Path:
-        """Write a new store generation under ``directory`` (crash-safe)."""
+        """Write a new store generation under ``directory`` (crash-safe).
+
+        The previous generation's data file survives this save as the
+        manifest's ``grace_file`` and is collected on the save after
+        next. Unlinking it immediately would race concurrent readers: a
+        reader that loaded the previous manifest just before this save
+        replaced it would find its data file gone mid-``open``.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = directory / MANIFEST_NAME
+        previous = {}
+        if manifest_path.exists():
+            try:
+                previous = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                previous = {}  # corrupt previous manifest: nothing to grace
+        previous_data = previous.get("data_file")
+        previous_grace = previous.get("grace_file")
         matrix = np.ascontiguousarray(self.matrix, dtype=_DTYPE)
         raw = matrix.tobytes()
         digest = hashlib.sha256(raw).hexdigest()
         data_name = f"embeddings-{digest[:16]}.f64"
         atomic_write_bytes(directory / data_name, raw)
+        if previous_data == data_name:
+            # content unchanged: the outgoing generation IS this one, so
+            # the previous grace entry stays in its window
+            grace = previous_grace
+        else:
+            grace = previous_data
         manifest = {
             "version": STORE_VERSION,
             "dtype": "float64",
             "rows": int(matrix.shape[0]),
             "dim": int(matrix.shape[1]),
             "data_file": data_name,
+            "grace_file": grace,
             "doc_ids": [int(d) for d in self.doc_ids],
             "offsets": [int(o) for o in self.offsets],
             "row_hashes": {str(d): h for d, h in self.row_hashes.items()},
@@ -100,10 +144,11 @@ class EmbeddingStore:
             "extra": self.extra,
         }
         atomic_write_json(directory / MANIFEST_NAME, manifest)
-        # GC generations the manifest no longer references; done last so a
-        # crash before this point leaves the previous generation loadable
+        # GC generations outside the grace window; done last so a crash
+        # before this point leaves the previous generation loadable
+        keep = {data_name, grace}
         for stale in directory.glob("embeddings-*.f64"):
-            if stale.name != data_name:
+            if stale.name not in keep:
                 stale.unlink(missing_ok=True)
         return directory
 
@@ -111,7 +156,27 @@ class EmbeddingStore:
     def open(
         cls, directory: Union[str, Path], mmap: bool = True
     ) -> "EmbeddingStore":
-        """Load a store saved by :meth:`save`; raises on any inconsistency."""
+        """Load a store saved by :meth:`save`; raises on any inconsistency.
+
+        Retries once when the manifest's data file vanishes between the
+        manifest read and the matrix attach: that is the GC race with a
+        concurrent writer two generations ahead, and re-reading the (by
+        then replaced) manifest resolves it. A second vanish — or a size
+        mismatch, which signals corruption rather than a race — raises.
+        """
+        try:
+            return cls._open_once(directory, mmap=mmap)
+        except _DataFileVanished:
+            # GC race: re-read the (by now replaced) manifest once
+            try:
+                return cls._open_once(directory, mmap=mmap)
+            except _DataFileVanished as error:
+                raise EmbeddingStoreError(str(error)) from error
+
+    @classmethod
+    def _open_once(
+        cls, directory: Union[str, Path], mmap: bool = True
+    ) -> "EmbeddingStore":
         directory = Path(directory)
         manifest_path = directory / MANIFEST_NAME
         if not manifest_path.exists():
@@ -143,22 +208,27 @@ class EmbeddingStore:
                 f"{len(doc_ids)} doc ids but {len(offsets)} offsets"
             )
         data_path = directory / data_file
-        if not data_path.exists():
-            raise EmbeddingStoreError(f"missing data file {data_file}")
+        try:
+            actual = data_path.stat().st_size
+        except FileNotFoundError as error:
+            raise _DataFileVanished(
+                f"missing data file {data_file}"
+            ) from error
         expected = rows * dim * _DTYPE().itemsize
-        actual = data_path.stat().st_size
         if actual != expected:
+            # a size mismatch is corruption, not a GC race — don't retry
             raise EmbeddingStoreError(
                 f"data file {data_file} is {actual} bytes, expected {expected}"
             )
         if rows == 0:
             matrix = np.zeros((0, dim), dtype=_DTYPE)
-        elif mmap:
-            matrix = np.memmap(
-                data_path, dtype=_DTYPE, mode="r", shape=(rows, dim)
-            )
         else:
-            matrix = np.fromfile(data_path, dtype=_DTYPE).reshape(rows, dim)
+            try:
+                matrix = _attach_matrix(data_path, rows, dim, mmap)
+            except FileNotFoundError as error:
+                raise _DataFileVanished(
+                    f"data file {data_file} vanished mid-open"
+                ) from error
         return cls(
             matrix=matrix,
             doc_ids=doc_ids,

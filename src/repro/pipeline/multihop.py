@@ -104,7 +104,10 @@ class MultiHopRetriever:
         return " ".join(capitalized or novel) or clue.flatten()
 
     def retrieve_paths(
-        self, question: str, k_paths: Optional[int] = None
+        self,
+        question: str,
+        k_paths: Optional[int] = None,
+        nprobe: Optional[int] = None,
     ) -> List[DocumentPath]:
         """Top-k document paths for ``question`` (Eq. 8 scoring).
 
@@ -114,10 +117,15 @@ class MultiHopRetriever:
         ``k_hop1`` sequential retrievals. A single question is just a
         batch of one — see :meth:`retrieve_paths_batch`.
         """
-        return self.retrieve_paths_batch([question], k_paths=k_paths)[0]
+        return self.retrieve_paths_batch(
+            [question], k_paths=k_paths, nprobe=nprobe
+        )[0]
 
     def retrieve_paths_batch(
-        self, questions: Sequence[str], k_paths: Optional[int] = None
+        self,
+        questions: Sequence[str],
+        k_paths: Optional[int] = None,
+        nprobe: Optional[int] = None,
     ) -> List[List[DocumentPath]]:
         """Path retrieval for many questions with batch-amortized stages.
 
@@ -128,6 +136,9 @@ class MultiHopRetriever:
         ``retrieve_batch`` call. Per-question results are identical to
         :meth:`retrieve_paths` up to encoder batch-padding float jitter
         (~1e-16); with a batch-invariant encoder they are exact.
+
+        ``nprobe`` is forwarded to both hops' ``retrieve_batch`` calls
+        when the underlying retriever has an active shard plan.
         """
         cfg = self.config
         if k_paths is None:
@@ -139,7 +150,7 @@ class MultiHopRetriever:
             return [[] for _ in questions]
         question_matrix = self.retriever.encode_questions(questions)
         hop1_lists = self.retriever.retrieve_batch(
-            question_matrix, k=cfg.k_hop1
+            question_matrix, k=cfg.k_hop1, nprobe=nprobe
         )
         # select every (question, hop-1 candidate) clue first so all clue
         # texts across the whole batch encode as one encoder pass
@@ -189,7 +200,9 @@ class MultiHopRetriever:
             )
         # one Q×T matmul covers every question's every second hop
         hop2_lists = (
-            self.retriever.retrieve_batch(hop2_matrix, k=cfg.k_hop2 + 1)
+            self.retriever.retrieve_batch(
+                hop2_matrix, k=cfg.k_hop2 + 1, nprobe=nprobe
+            )
             if cursor
             else []
         )

@@ -191,6 +191,9 @@ class PathRanker:
             self.config.blend * _norm(ranker_scores)
             + (1 - self.config.blend) * _norm(base)
         )
+        # stable sort: tied blended scores keep the (already
+        # deterministic) upstream path order, so reranking is a total
+        # order like topk_doc_order's (score desc, id asc)
         order = np.argsort(-blended, kind="stable")
         reranked = []
         for index in order:

@@ -44,6 +44,9 @@ from repro.retriever.strategies import (
     cosine_matrix,
     l2_normalize_rows,
 )
+from repro.shard.merge import topk_doc_order
+from repro.shard.plan import ShardPlan
+from repro.shard.store import ShardedEmbeddingStore
 
 
 @dataclass
@@ -89,6 +92,11 @@ class SingleRetriever:
         self._row_hashes: Dict[int, str] = {}
         self._encoder_fp: Optional[str] = None
         self._attached: Optional[EmbeddingStore] = None
+        # sharded scoring: (n_shards, mode) spec + the built plan; the
+        # plan is rebuilt lazily whenever the scoring matrices refresh
+        self._shard_spec: Optional[tuple] = None
+        self._shard_assignment: Optional[Dict[int, int]] = None
+        self._shard_plan: Optional[ShardPlan] = None
 
     # -- embedding maintenance ------------------------------------------------
     def refresh_embeddings(
@@ -178,6 +186,8 @@ class SingleRetriever:
             self._doc_pos = {d: i for i, d in enumerate(self._doc_order)}
             self._offsets_arr = np.asarray(self._offsets, dtype=np.int64)
             self._encoder_fp = current_fp
+            if self._shard_spec is not None:
+                self._rebuild_shard_plan()
         COUNTERS.record_embed_refresh(
             n_encoded=len(dirty_texts),
             n_reused=start - len(dirty_texts),
@@ -232,6 +242,7 @@ class SingleRetriever:
         self._row_hashes = {}
         self._encoder_fp = None
         self._attached = None
+        self._shard_plan = None
 
     def export_embeddings(
         self, construction_fingerprint: str = ""
@@ -256,6 +267,65 @@ class SingleRetriever:
     def _ensure_fresh(self) -> None:
         if self._stacked is None:
             self.refresh_embeddings()
+
+    # -- sharded scoring ------------------------------------------------------
+    @property
+    def shard_plan(self) -> Optional[ShardPlan]:
+        """The active :class:`ShardPlan`, or None when unsharded."""
+        return self._shard_plan
+
+    def build_shards(
+        self, n_shards: int, mode: str = "range"
+    ) -> ShardPlan:
+        """Split the scoring matrix into ``n_shards`` with centroid pruning.
+
+        Subsequent :meth:`retrieve_batch` calls route through the plan
+        (per-shard matmuls + exact global merge) and accept ``nprobe``.
+        The plan is rebuilt automatically on every embedding refresh.
+        """
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self._shard_spec = (int(n_shards), mode)
+        self._shard_assignment = None
+        self._shard_plan = None
+        self._ensure_fresh()
+        if self._shard_plan is None:  # matrices were already fresh
+            self._rebuild_shard_plan()
+        return self._shard_plan
+
+    def attach_sharded(self, sharded: ShardedEmbeddingStore) -> int:
+        """Warm-start from a persisted :class:`ShardedEmbeddingStore`.
+
+        Attaches the combined (ascending-doc-id) view for the incremental
+        cache, then pins the persisted document-to-shard assignment so the
+        rebuilt plan groups documents exactly as the saved shards do.
+        Returns the number of rows adopted (0 on rejection, like
+        :meth:`attach_embeddings`).
+        """
+        total = self.attach_embeddings(sharded.combined())
+        if total or sharded.total_rows == 0:
+            self._shard_spec = (sharded.n_shards, sharded.mode)
+            self._shard_assignment = sharded.assignment()
+            self._shard_plan = None
+        return total
+
+    def detach_shards(self) -> None:
+        """Return to unsharded scoring (embedding cache is untouched)."""
+        self._shard_spec = None
+        self._shard_assignment = None
+        self._shard_plan = None
+
+    def _rebuild_shard_plan(self) -> None:
+        n_shards, mode = self._shard_spec
+        self._shard_plan = ShardPlan.build(
+            self._normed,
+            self._doc_order,
+            self._offsets,
+            n_shards,
+            mode=mode,
+            assignment=self._shard_assignment,
+        )
+        self._shard_assignment = self._shard_plan.assignment
 
     def doc_embeddings(self, doc_id: int) -> np.ndarray:
         """The cached triple embedding matrix of one document."""
@@ -302,11 +372,14 @@ class SingleRetriever:
         strategy: Optional[ScoreStrategy] = None,
         candidate_ids: Optional[Sequence[int]] = None,
         keep_triple_scores: bool = False,
+        nprobe: Optional[int] = None,
     ) -> List[RetrievedDocument]:
         """Top-k documents for ``question`` with matched-triple explanations.
 
         ``candidate_ids`` restricts scoring to a subset (used by rerankers
-        and by the multi-hop pipeline's second hop).
+        and by the multi-hop pipeline's second hop). ``nprobe`` limits
+        sharded scoring to that many closest shards (requires
+        :meth:`build_shards` / :meth:`attach_sharded`; None = no pruning).
         """
         self._ensure_fresh()
         strategy = strategy or self.strategy
@@ -317,6 +390,7 @@ class SingleRetriever:
             strategy=strategy,
             candidate_ids=candidate_ids,
             keep_triple_scores=keep_triple_scores,
+            nprobe=nprobe,
         )
 
     def retrieve_by_vector(
@@ -326,6 +400,7 @@ class SingleRetriever:
         strategy: Optional[ScoreStrategy] = None,
         candidate_ids: Optional[Sequence[int]] = None,
         keep_triple_scores: bool = False,
+        nprobe: Optional[int] = None,
     ) -> List[RetrievedDocument]:
         """Same as :meth:`retrieve` for an already-encoded question."""
         return self.retrieve_batch(
@@ -334,6 +409,7 @@ class SingleRetriever:
             strategy=strategy,
             candidate_ids=candidate_ids,
             keep_triple_scores=keep_triple_scores,
+            nprobe=nprobe,
         )[0]
 
     def retrieve_many(
@@ -343,6 +419,7 @@ class SingleRetriever:
         strategy: Optional[ScoreStrategy] = None,
         candidate_ids: Optional[Sequence[int]] = None,
         keep_triple_scores: bool = False,
+        nprobe: Optional[int] = None,
     ) -> List[List[RetrievedDocument]]:
         """Top-k documents for a batch of question *texts*.
 
@@ -359,6 +436,7 @@ class SingleRetriever:
             strategy=strategy,
             candidate_ids=candidate_ids,
             keep_triple_scores=keep_triple_scores,
+            nprobe=nprobe,
         )
 
     def retrieve_batch(
@@ -368,6 +446,7 @@ class SingleRetriever:
         strategy: Optional[ScoreStrategy] = None,
         candidate_ids: Optional[Sequence[int]] = None,
         keep_triple_scores: bool = False,
+        nprobe: Optional[int] = None,
     ) -> List[List[RetrievedDocument]]:
         """Top-k documents for every row of ``query_matrix`` at once.
 
@@ -375,10 +454,25 @@ class SingleRetriever:
         per-document aggregation runs as segment reductions. Returns one
         result list per query row, each identical to what
         :meth:`retrieve_by_vector` returns for that row.
+
+        With an active shard plan and no ``candidate_ids``, scoring runs
+        per shard: ``nprobe`` prunes to that many centroid-closest shards
+        (None or ``>= n_shards`` probes everything, which is provably
+        identical to the unsharded path). ``candidate_ids`` always scores
+        exactly, so ``nprobe`` is ignored there.
         """
         self._ensure_fresh()
         strategy = strategy or self.strategy
         queries = np.atleast_2d(np.asarray(query_matrix, dtype=np.float64))
+        if nprobe is not None and self._shard_plan is None:
+            raise ValueError(
+                "nprobe requires an active shard plan; call "
+                "build_shards() or attach_sharded() first"
+            )
+        if self._shard_plan is not None and candidate_ids is None:
+            return self._retrieve_batch_sharded(
+                queries, k, strategy, nprobe, keep_triple_scores
+            )
         doc_ids, offsets, gather = self._candidate_layout(candidate_ids)
         if queries.shape[0] == 0 or doc_ids.size == 0 or k <= 0:
             return [[] for _ in range(queries.shape[0])]
@@ -401,6 +495,60 @@ class SingleRetriever:
             )
             for row in score_matrix
         ]
+
+    def _retrieve_batch_sharded(
+        self,
+        queries: np.ndarray,
+        k: int,
+        strategy: ScoreStrategy,
+        nprobe: Optional[int],
+        keep_triple_scores: bool,
+    ) -> List[List[RetrievedDocument]]:
+        """Shard-routed scoring: probe, per-shard matmuls, global merge."""
+        plan = self._shard_plan
+        n_queries = queries.shape[0]
+        if n_queries == 0 or plan.total_docs == 0 or k <= 0:
+            return [[] for _ in range(n_queries)]
+        queries_normed = l2_normalize_rows(queries)
+        with time_block() as elapsed:
+            scored = plan.search(queries_normed, strategy, nprobe)
+        COUNTERS.record_scoring(
+            n_queries=n_queries,
+            n_docs=max(
+                (int(q.doc_ids.shape[0]) for q in scored), default=0
+            ),
+            n_triples=max((q.n_triples for q in scored), default=0),
+            seconds=elapsed(),
+        )
+        out: List[List[RetrievedDocument]] = []
+        for query_scores in scored:
+            order = topk_doc_order(
+                query_scores.scores, query_scores.doc_ids, k
+            )
+            results: List[RetrievedDocument] = []
+            for position in order:
+                position = int(position)
+                doc_id = int(query_scores.doc_ids[position])
+                local = int(query_scores.matched[position])
+                triples = self.store.triples(doc_id)
+                matched_triple = (
+                    triples[local] if 0 <= local < len(triples) else None
+                )
+                results.append(
+                    RetrievedDocument(
+                        doc_id=doc_id,
+                        title=self.store.corpus[doc_id].title,
+                        score=float(query_scores.scores[position]),
+                        matched_triple=matched_triple,
+                        triple_scores=(
+                            query_scores.triple_scores(position)
+                            if keep_triple_scores
+                            else None
+                        ),
+                    )
+                )
+            out.append(results)
+        return out
 
     # -- vectorized internals ------------------------------------------------
     def _candidate_layout(self, candidate_ids: Optional[Sequence[int]]):
@@ -471,19 +619,9 @@ class SingleRetriever:
         aggregated, matched = aggregate_segments(
             flat_scores, offsets, strategy
         )
-        n_docs = doc_ids.size
-        k = min(k, n_docs)
-        if k < n_docs:
-            # argpartition finds the top-k set in O(n); boundary ties are
-            # then resolved exactly like the legacy sort (-score, doc_id)
-            part = np.argpartition(-aggregated, k - 1)
-            boundary = aggregated[part[k - 1]]
-            candidates = np.nonzero(aggregated >= boundary)[0]
-        else:
-            candidates = np.arange(n_docs)
-        order = candidates[
-            np.lexsort((doc_ids[candidates], -aggregated[candidates]))
-        ][:k]
+        # deterministic (score desc, doc id asc) top-k; shared with the
+        # sharded merge so both paths rank byte-identically
+        order = topk_doc_order(aggregated, doc_ids, k)
         total = flat_scores.shape[0]
         results: List[RetrievedDocument] = []
         for position in order:

@@ -13,7 +13,8 @@ Admission control lives at the queue mouth: ``put`` rejects with
 :class:`~repro.serve.errors.Overloaded` once ``max_pending`` requests
 wait, which bounds queue latency instead of letting it grow without
 limit. Batches are homogeneous: only requests with the same
-:attr:`PendingRequest.batch_key` (mode, k) coalesce, so one underlying
+:attr:`PendingRequest.batch_key` (mode, k, nprobe) coalesce, so one
+underlying
 bulk call serves every member.
 """
 
@@ -41,6 +42,7 @@ class PendingRequest:
         "question",
         "mode",
         "k",
+        "nprobe",
         "cache_key",
         "deadline",
         "submitted_at",
@@ -56,10 +58,12 @@ class PendingRequest:
         k: int,
         cache_key: Any,
         deadline: Optional[float],
+        nprobe: Optional[int] = None,
     ):
         self.question = question
         self.mode = mode
         self.k = k
+        self.nprobe = nprobe
         self.cache_key = cache_key
         self.deadline = deadline
         self.submitted_at = time.perf_counter()
@@ -68,9 +72,9 @@ class PendingRequest:
         self._error: Optional[BaseException] = None
 
     @property
-    def batch_key(self) -> Tuple[str, int]:
-        """Requests coalesce only with the same (mode, k) shape."""
-        return (self.mode, self.k)
+    def batch_key(self) -> Tuple[str, int, Optional[int]]:
+        """Requests coalesce only with the same (mode, k, nprobe) shape."""
+        return (self.mode, self.k, self.nprobe)
 
     def complete(self, result: Any) -> None:
         self._result = result
@@ -165,7 +169,7 @@ class BatchQueue:
             return batch
 
     def _take_compatible(
-        self, key: Tuple[str, int]
+        self, key: Tuple[str, int, Optional[int]]
     ) -> Optional[PendingRequest]:
         """Pop the oldest queued request with ``batch_key == key``."""
         for index, item in enumerate(self._items):

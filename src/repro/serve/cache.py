@@ -29,10 +29,22 @@ from repro.text.tokenize import normalize
 #: Sentinel distinguishing "miss" from a cached None value.
 _MISS = object()
 
+#: Oldest entries examined per ``put`` when sweeping expired entries.
+#: Bounded so an insert stays O(1); a steady trickle of inserts still
+#: reclaims dead weight faster than it accumulates.
+_SWEEP_LIMIT = 8
 
-def query_cache_key(question: str, mode: str, k: int) -> Tuple[str, int, str]:
-    """The cache key of one request: (mode, k, normalized question)."""
-    return (mode, int(k), normalize(question))
+
+def query_cache_key(
+    question: str, mode: str, k: int, nprobe: Optional[int] = None
+) -> Tuple[str, int, Optional[int], str]:
+    """The cache key of one request: (mode, k, nprobe, normalized question).
+
+    ``nprobe`` participates because pruned sharded retrieval is a
+    *different* pure function of the query than exact retrieval — results
+    under ``nprobe=2`` must never be served to an ``nprobe=None`` caller.
+    """
+    return (mode, int(k), nprobe, normalize(question))
 
 
 @dataclass
@@ -116,16 +128,41 @@ class ResultCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert/refresh ``key``, evicting the LRU entry over capacity."""
+        """Insert/refresh ``key``, evicting the LRU entry over capacity.
+
+        Each insert also sweeps up to ``_SWEEP_LIMIT`` of the *oldest*
+        entries for TTL expiry. Without the sweep, expired entries that
+        are never looked up again ("dead weight") survive until capacity
+        pressure evicts them — and get mis-counted as ``evictions`` when
+        they do. Bounded work per insert keeps ``put`` O(1).
+        """
         if self.capacity <= 0:
             return
         with self._lock:
+            now = self._clock()
+            if self.ttl_s is not None:
+                # examine the LRU end only: recency order approximates
+                # age order, and the bound keeps the insert O(1)
+                window = [
+                    old_key
+                    for old_key, _ in zip(self._entries, range(_SWEEP_LIMIT))
+                ]
+                for old_key in window:
+                    stored_at, _ = self._entries[old_key]
+                    if now - stored_at >= self.ttl_s:
+                        del self._entries[old_key]
+                        self.stats.expirations += 1
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = (self._clock(), value)
+            self._entries[key] = (now, value)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                _, (stored_at, _) = self._entries.popitem(last=False)
+                # an already-expired entry leaving under capacity pressure
+                # is an expiration, not a genuine LRU eviction
+                if self.ttl_s is not None and now - stored_at >= self.ttl_s:
+                    self.stats.expirations += 1
+                else:
+                    self.stats.evictions += 1
 
     def clear(self) -> None:
         with self._lock:

@@ -59,6 +59,9 @@ class ServiceConfig:
     cache_ttl_s: Optional[float] = None  # entry lifetime; None = no expiry
     default_k: int = 8  # results per request unless overridden
     default_deadline_s: Optional[float] = None  # per-request deadline
+    # shards probed per request when the retriever has an active shard
+    # plan; None = no pruning (provably exact). Overridable per request.
+    default_nprobe: Optional[int] = None
     latency_reservoir: int = 65536  # latency samples kept for percentiles
     # build the retriever's scoring matrices inside start() instead of on
     # the first request's worker thread — a warm-started (attached)
@@ -174,12 +177,16 @@ class RetrievalService:
         k: Optional[int] = None,
         mode: str = "single",
         deadline_s: Optional[float] = None,
+        nprobe: Optional[int] = None,
     ) -> PendingRequest:
         """Enqueue one request and return its future immediately.
 
         Raises :class:`Overloaded` when admission control rejects it and
         :class:`ServiceStopped` when the service is not running. A cache
-        hit completes the returned request synchronously.
+        hit completes the returned request synchronously. ``nprobe``
+        (default :attr:`ServiceConfig.default_nprobe`) prunes sharded
+        scoring to that many shards; it is part of both the cache key and
+        the batch key, so pruned and exact requests never mix.
         """
         cfg = self.config
         if mode not in MODES:
@@ -195,11 +202,14 @@ class RetrievalService:
         deadline_s = (
             deadline_s if deadline_s is not None else cfg.default_deadline_s
         )
-        cache_key = query_cache_key(question, mode, k)
+        nprobe = nprobe if nprobe is not None else cfg.default_nprobe
+        cache_key = query_cache_key(question, mode, k, nprobe)
         deadline = (
             None if deadline_s is None else self._clock() + deadline_s
         )
-        request = PendingRequest(question, mode, k, cache_key, deadline)
+        request = PendingRequest(
+            question, mode, k, cache_key, deadline, nprobe=nprobe
+        )
         self.stats.record_submitted()
         cached = self._cache.get(cache_key)
         if cached is not MISS:
@@ -219,10 +229,12 @@ class RetrievalService:
         k: Optional[int] = None,
         deadline_s: Optional[float] = None,
         timeout: Optional[float] = None,
+        nprobe: Optional[int] = None,
     ) -> Any:
         """Blocking single-hop retrieval (submit + wait)."""
         return self.submit(
-            question, k=k, mode="single", deadline_s=deadline_s
+            question, k=k, mode="single", deadline_s=deadline_s,
+            nprobe=nprobe,
         ).result(timeout)
 
     def retrieve_paths(
@@ -231,10 +243,12 @@ class RetrievalService:
         k: Optional[int] = None,
         deadline_s: Optional[float] = None,
         timeout: Optional[float] = None,
+        nprobe: Optional[int] = None,
     ) -> Any:
         """Blocking multi-hop path retrieval (submit + wait)."""
         return self.submit(
-            question, k=k, mode="paths", deadline_s=deadline_s
+            question, k=k, mode="paths", deadline_s=deadline_s,
+            nprobe=nprobe,
         ).result(timeout)
 
     # -- observability ---------------------------------------------------
@@ -283,13 +297,18 @@ class RetrievalService:
             if request.cache_key not in row_of:
                 row_of[request.cache_key] = len(questions)
                 questions.append(request.question)
-        mode, k = live[0].batch_key
+        mode, k, nprobe = live[0].batch_key
+        # pass nprobe only when set so duck-typed retrievers that predate
+        # sharding keep working unchanged
+        extra = {} if nprobe is None else {"nprobe": nprobe}
         try:
             if mode == "single":
-                results = self.retriever.retrieve_many(questions, k=k)
+                results = self.retriever.retrieve_many(
+                    questions, k=k, **extra
+                )
             else:
                 results = self.multihop.retrieve_paths_batch(
-                    questions, k_paths=k
+                    questions, k_paths=k, **extra
                 )
         except Exception as error:  # surface to every waiting client
             for request in live:

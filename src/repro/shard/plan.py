@@ -1,0 +1,326 @@
+"""The sharded scoring plan: per-shard top-k with an exact global merge.
+
+A :class:`ShardPlan` splits one stacked, L2-normalized triple matrix
+into N shards (each document's triples live wholly in one shard) plus a
+coarse-quantization layer: one unit centroid per shard. A query scores
+the centroids first and prunes to the ``nprobe`` closest shards before
+any triple matmul runs — the IVF structure that decouples query cost
+from total corpus size.
+
+Exactness contract: per-document scores are plain dot products against
+the same normalized rows, so they are bitwise identical to the
+unsharded path, and the global merge orders by ``(score desc, doc id
+asc)`` — a total order. With ``nprobe = n_shards`` (no pruning) sharded
+retrieval is therefore *provably byte-identical* to exact top-k; with
+``nprobe < n_shards`` it trades recall for a proportional cut in matmul
+work. The 1/2/4-shard parity tests pin the first property, the
+recall-monotonicity property tests the second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.retriever.strategies import (
+    ScoreStrategy,
+    aggregate_segments,
+    l2_normalize_rows,
+)
+from repro.shard.assignment import (
+    MODES,
+    assign_documents,
+    segment_means,
+)
+
+
+@dataclass
+class Shard:
+    """One shard: a doc subset, their triple rows, and a coarse centroid."""
+
+    shard_id: int
+    doc_ids: np.ndarray  # (n_docs,) int64, ascending
+    offsets: np.ndarray  # (n_docs,) int64 shard-local segment starts
+    matrix: np.ndarray  # (n_rows, dim) L2-normalized triple rows
+    centroid: np.ndarray  # (dim,) unit centroid (zero when empty)
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def __len__(self) -> int:
+        return int(self.doc_ids.shape[0])
+
+
+class QueryShardScores:
+    """One query's scored shards, mergeable into a global ranking.
+
+    Concatenates the per-shard per-document aggregates in probe order;
+    :meth:`triple_scores` recovers the flat per-triple scores of one
+    ranked document (the explanation path) without re-scoring.
+    """
+
+    __slots__ = (
+        "doc_ids",
+        "scores",
+        "matched",
+        "n_triples",
+        "_bounds",
+        "_flats",
+        "_offsets",
+    )
+
+    def __init__(self) -> None:
+        self.doc_ids = np.zeros(0, dtype=np.int64)
+        self.scores = np.zeros(0, dtype=np.float64)
+        self.matched = np.zeros(0, dtype=np.int64)
+        self.n_triples = 0
+        self._bounds: List[int] = [0]
+        self._flats: List[np.ndarray] = []
+        self._offsets: List[np.ndarray] = []
+
+    def add_shard(
+        self,
+        shard: Shard,
+        flat_scores: np.ndarray,
+        aggregated: np.ndarray,
+        matched: np.ndarray,
+    ) -> None:
+        self.doc_ids = np.concatenate([self.doc_ids, shard.doc_ids])
+        self.scores = np.concatenate([self.scores, aggregated])
+        self.matched = np.concatenate([self.matched, matched])
+        self.n_triples += int(flat_scores.shape[0])
+        self._bounds.append(int(self.doc_ids.shape[0]))
+        self._flats.append(flat_scores)
+        self._offsets.append(shard.offsets)
+
+    def triple_scores(self, position: int) -> np.ndarray:
+        """Flat triple scores of the document at merged ``position``."""
+        bounds = self._bounds
+        shard_index = (
+            int(np.searchsorted(bounds, position, side="right")) - 1
+        )
+        local = position - bounds[shard_index]
+        offsets = self._offsets[shard_index]
+        flat = self._flats[shard_index]
+        start = int(offsets[local])
+        stop = (
+            int(offsets[local + 1])
+            if local + 1 < offsets.shape[0]
+            else flat.shape[0]
+        )
+        return flat[start:stop].copy()
+
+
+class ShardPlan:
+    """N shards over one stacked matrix + the centroid pruning layer."""
+
+    def __init__(
+        self,
+        shards: List[Shard],
+        mode: str,
+        assignment: Dict[int, int],
+    ):
+        self.shards = shards
+        self.mode = mode
+        self.assignment = assignment  # doc_id -> shard_id
+        self.centroids = (
+            np.stack([s.centroid for s in shards])
+            if shards
+            else np.zeros((0, 0), dtype=np.float64)
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(shard.n_rows for shard in self.shards)
+
+    @property
+    def total_docs(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        normed_matrix: np.ndarray,
+        doc_ids: Sequence[int],
+        offsets: Sequence[int],
+        n_shards: int,
+        mode: str = "range",
+        assignment: Optional[Dict[int, int]] = None,
+    ) -> "ShardPlan":
+        """Split a stacked normalized matrix into a scoring plan.
+
+        ``doc_ids``/``offsets`` describe the segment layout exactly as
+        :class:`~repro.ingest.embedding_store.EmbeddingStore` does. An
+        explicit ``assignment`` (doc_id -> shard_id, e.g. from a persisted
+        sharded manifest) wins over recomputing one; it must cover every
+        document.
+        """
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if mode not in MODES:
+            raise ValueError(
+                f"unknown shard mode {mode!r} (expected {MODES})"
+            )
+        normed_matrix = np.asarray(normed_matrix, dtype=np.float64)
+        doc_id_arr = np.asarray(list(doc_ids), dtype=np.int64)
+        offset_arr = np.asarray(list(offsets), dtype=np.int64)
+        n_docs = doc_id_arr.shape[0]
+        total = normed_matrix.shape[0]
+        stops = (
+            np.concatenate([offset_arr[1:], [total]])
+            if n_docs
+            else np.zeros(0, dtype=np.int64)
+        )
+        if assignment is not None and all(
+            int(d) in assignment for d in doc_id_arr
+        ):
+            labels = np.asarray(
+                [assignment[int(d)] for d in doc_id_arr], dtype=np.int64
+            )
+        elif mode == "centroid":
+            labels = assign_documents(
+                mode,
+                n_docs,
+                n_shards,
+                doc_vectors=segment_means(normed_matrix, offset_arr),
+            )
+        else:
+            labels = assign_documents(mode, n_docs, n_shards)
+        shards: List[Shard] = []
+        contiguous = _labels_are_contiguous(labels)
+        for shard_id in range(n_shards):
+            positions = np.nonzero(labels == shard_id)[0]
+            if positions.size == 0:
+                dim = normed_matrix.shape[1] if normed_matrix.ndim == 2 else 0
+                shards.append(
+                    Shard(
+                        shard_id=shard_id,
+                        doc_ids=np.zeros(0, dtype=np.int64),
+                        offsets=np.zeros(0, dtype=np.int64),
+                        matrix=np.zeros((0, dim), dtype=np.float64),
+                        centroid=np.zeros(dim, dtype=np.float64),
+                    )
+                )
+                continue
+            lengths = stops[positions] - offset_arr[positions]
+            local_offsets = np.concatenate(
+                [[0], np.cumsum(lengths)[:-1]]
+            ).astype(np.int64)
+            if contiguous:
+                # contiguous doc chunk -> the shard matrix is a zero-copy
+                # view into the stacked matrix
+                row_start = int(offset_arr[positions[0]])
+                row_stop = int(stops[positions[-1]])
+                matrix = normed_matrix[row_start:row_stop]
+            else:
+                pieces = [
+                    normed_matrix[offset_arr[p] : stops[p]]
+                    for p in positions
+                ]
+                matrix = (
+                    np.concatenate(pieces)
+                    if pieces
+                    else np.zeros((0, normed_matrix.shape[1]))
+                )
+            if matrix.shape[0]:
+                mean = np.asarray(matrix).mean(axis=0)
+                norm = np.linalg.norm(mean)
+                centroid = mean / norm if norm > 0.0 else mean
+            else:
+                centroid = np.zeros(normed_matrix.shape[1], dtype=np.float64)
+            shards.append(
+                Shard(
+                    shard_id=shard_id,
+                    doc_ids=doc_id_arr[positions],
+                    offsets=local_offsets,
+                    matrix=matrix,
+                    centroid=centroid,
+                )
+            )
+        mapping = {
+            int(doc_id_arr[i]): int(labels[i]) for i in range(n_docs)
+        }
+        return cls(shards=shards, mode=mode, assignment=mapping)
+
+    # -- query path ------------------------------------------------------
+    def probe(
+        self, queries_normed: np.ndarray, nprobe: Optional[int] = None
+    ) -> List[np.ndarray]:
+        """Per-query shard ids to score, closest centroid first.
+
+        ``nprobe`` of None (or >= ``n_shards``) probes everything — the
+        no-pruning, provably exact configuration. Centroid ties break
+        toward the lower shard id so probing is deterministic.
+        """
+        n_shards = self.n_shards
+        nprobe = n_shards if nprobe is None else max(1, int(nprobe))
+        nprobe = min(nprobe, n_shards)
+        queries_normed = np.atleast_2d(queries_normed)
+        if nprobe >= n_shards:
+            every = np.arange(n_shards, dtype=np.int64)
+            return [every for _ in range(queries_normed.shape[0])]
+        centroid_scores = queries_normed @ self.centroids.T
+        shard_ids = np.arange(n_shards, dtype=np.int64)
+        out: List[np.ndarray] = []
+        for row in centroid_scores:
+            order = np.lexsort((shard_ids, -row))
+            out.append(order[:nprobe].astype(np.int64))
+        return out
+
+    def search(
+        self,
+        queries_normed: np.ndarray,
+        strategy: ScoreStrategy,
+        nprobe: Optional[int] = None,
+    ) -> List[QueryShardScores]:
+        """Score every query against its probed shards (shard-major).
+
+        Executes one matmul per (shard, queries-probing-it) group so a
+        batch pays each shard's matrix at most once, then aggregates per
+        document with the same segment reductions as the unsharded path.
+        """
+        queries_normed = np.atleast_2d(
+            np.asarray(queries_normed, dtype=np.float64)
+        )
+        probed = self.probe(queries_normed, nprobe)
+        results = [QueryShardScores() for _ in range(len(probed))]
+        by_shard: Dict[int, List[int]] = {}
+        for query_index, shard_ids in enumerate(probed):
+            for shard_id in shard_ids:
+                by_shard.setdefault(int(shard_id), []).append(query_index)
+        for shard_id in sorted(by_shard):
+            shard = self.shards[shard_id]
+            if len(shard) == 0:
+                continue
+            query_indices = by_shard[shard_id]
+            flat_block = queries_normed[query_indices] @ shard.matrix.T
+            for row, query_index in enumerate(query_indices):
+                flat = flat_block[row]
+                aggregated, matched = aggregate_segments(
+                    flat, shard.offsets, strategy
+                )
+                results[query_index].add_shard(
+                    shard, flat, aggregated, matched
+                )
+        return results
+
+
+def _labels_are_contiguous(labels: np.ndarray) -> bool:
+    """True when equal labels occupy one contiguous run (range layout)."""
+    if labels.shape[0] <= 1:
+        return True
+    return bool(np.all(np.diff(labels) >= 0))
+
+
+def build_query_normed(query_matrix: np.ndarray) -> np.ndarray:
+    """Normalize a query batch exactly like the unsharded scorer."""
+    queries = np.atleast_2d(np.asarray(query_matrix, dtype=np.float64))
+    return l2_normalize_rows(queries)

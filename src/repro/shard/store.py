@@ -1,0 +1,266 @@
+"""Persistence for sharded embedding stores: sibling generations, one manifest.
+
+A sharded store is N ordinary :class:`~repro.ingest.embedding_store.
+EmbeddingStore` directories (``shard-0000``, ``shard-0001``, ...) under
+one parent plus a ``sharded_manifest.json`` naming them. Each shard
+inherits the full store's crash-safety: content-addressed data files,
+atomic manifest replacement, and the two-generation GC grace window.
+The parent manifest is written last, so a crash mid-save leaves either
+the previous sharded generation or a set of valid-but-unreferenced
+shard directories — never a half-readable store.
+
+Each document's rows live wholly in exactly one shard (assignment is
+per-document), which is what makes per-shard scoring + global merge
+provably identical to exact retrieval when no pruning is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.ingest.embedding_store import (
+    EmbeddingStore,
+    EmbeddingStoreError,
+)
+from repro.retriever.strategies import l2_normalize_rows
+from repro.shard.assignment import (
+    MODES,
+    assign_documents,
+    segment_means,
+)
+from repro.storage.atomic import atomic_write_json
+
+SHARDED_MANIFEST_NAME = "sharded_manifest.json"
+SHARDED_STORE_VERSION = 1
+
+
+class ShardedStoreError(EmbeddingStoreError):
+    """The sharded manifest or one of its shards is missing or corrupt."""
+
+
+def _shard_dir_name(shard_id: int) -> str:
+    return f"shard-{shard_id:04d}"
+
+
+@dataclass
+class ShardedEmbeddingStore:
+    """N sibling :class:`EmbeddingStore` generations under one manifest."""
+
+    shards: List[EmbeddingStore]
+    mode: str = "range"
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(int(s.matrix.shape[0]) for s in self.shards)
+
+    @property
+    def total_docs(self) -> int:
+        return sum(len(s.doc_ids) for s in self.shards)
+
+    def assignment(self) -> Dict[int, int]:
+        """doc_id -> shard index, derived from the shard doc lists."""
+        return {
+            int(doc_id): shard_id
+            for shard_id, shard in enumerate(self.shards)
+            for doc_id in shard.doc_ids
+        }
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def split(
+        cls,
+        store: EmbeddingStore,
+        n_shards: int,
+        mode: str = "range",
+    ) -> "ShardedEmbeddingStore":
+        """Partition one embedding store into ``n_shards`` shard stores.
+
+        Documents are assigned per ``mode`` (contiguous doc-id ranges, or
+        coarse k-means centroids over per-document mean embeddings);
+        every row, hash and fingerprint is carried over verbatim, so
+        :meth:`combined` reassembles a store byte-identical to the input.
+        """
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if mode not in MODES:
+            raise ValueError(
+                f"unknown shard mode {mode!r} (expected {MODES})"
+            )
+        matrix = np.asarray(store.matrix, dtype=np.float64)
+        offsets = np.asarray(store.offsets, dtype=np.int64)
+        n_docs = len(store.doc_ids)
+        total = matrix.shape[0]
+        stops = (
+            np.concatenate([offsets[1:], [total]])
+            if n_docs
+            else np.zeros(0, dtype=np.int64)
+        )
+        if mode == "centroid" and n_shards > 1:
+            doc_vectors = segment_means(
+                l2_normalize_rows(matrix), offsets
+            )
+            labels = assign_documents(
+                mode, n_docs, n_shards, doc_vectors=doc_vectors
+            )
+        else:
+            labels = assign_documents("range", n_docs, n_shards)
+        shards: List[EmbeddingStore] = []
+        for shard_id in range(n_shards):
+            positions = np.nonzero(labels == shard_id)[0]
+            doc_ids = [int(store.doc_ids[p]) for p in positions]
+            pieces = [matrix[offsets[p] : stops[p]] for p in positions]
+            shard_matrix = (
+                np.concatenate(pieces)
+                if pieces
+                else np.zeros((0, matrix.shape[1] if matrix.ndim == 2 else 0))
+            )
+            lengths = [int(stops[p] - offsets[p]) for p in positions]
+            shard_offsets: List[int] = []
+            cursor = 0
+            for length in lengths:
+                shard_offsets.append(cursor)
+                cursor += length
+            chosen = set(doc_ids)
+            shards.append(
+                EmbeddingStore(
+                    matrix=np.ascontiguousarray(shard_matrix),
+                    doc_ids=doc_ids,
+                    offsets=shard_offsets,
+                    row_hashes={
+                        d: h
+                        for d, h in store.row_hashes.items()
+                        if int(d) in chosen
+                    },
+                    encoder_fingerprint=store.encoder_fingerprint,
+                    construction_fingerprint=store.construction_fingerprint,
+                    extra={
+                        "shard_id": shard_id,
+                        "shard_mode": mode,
+                        "n_shards": n_shards,
+                    },
+                )
+            )
+        return cls(shards=shards, mode=mode, extra=dict(store.extra))
+
+    def combined(self) -> EmbeddingStore:
+        """Reassemble the single-store view, ascending by doc id.
+
+        The result's layout matches what a fresh
+        :meth:`~repro.retriever.single.SingleRetriever.refresh_embeddings`
+        builds (ascending doc ids), so attaching it warm-starts with zero
+        re-encoding regardless of how documents were sharded.
+        """
+        entries = []  # (doc_id, shard_index, local_index)
+        for shard_index, shard in enumerate(self.shards):
+            for local_index, doc_id in enumerate(shard.doc_ids):
+                entries.append((int(doc_id), shard_index, local_index))
+        entries.sort()
+        pieces: List[np.ndarray] = []
+        doc_ids: List[int] = []
+        offsets: List[int] = []
+        row_hashes: Dict[int, str] = {}
+        cursor = 0
+        dim = 0
+        for shard in self.shards:
+            if shard.matrix.ndim == 2 and shard.matrix.shape[1]:
+                dim = int(shard.matrix.shape[1])
+                break
+        for doc_id, shard_index, local_index in entries:
+            shard = self.shards[shard_index]
+            segment = shard.segment(local_index)
+            pieces.append(np.asarray(segment))
+            doc_ids.append(doc_id)
+            offsets.append(cursor)
+            cursor += int(segment.shape[0])
+            if doc_id in shard.row_hashes:
+                row_hashes[doc_id] = shard.row_hashes[doc_id]
+        matrix = (
+            np.concatenate(pieces)
+            if pieces
+            else np.zeros((0, dim), dtype=np.float64)
+        )
+        first = self.shards[0] if self.shards else None
+        return EmbeddingStore(
+            matrix=matrix,
+            doc_ids=doc_ids,
+            offsets=offsets,
+            row_hashes=row_hashes,
+            encoder_fingerprint=(
+                first.encoder_fingerprint if first is not None else ""
+            ),
+            construction_fingerprint=(
+                first.construction_fingerprint if first is not None else ""
+            ),
+            extra=dict(self.extra),
+        )
+
+    # -- persistence -----------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write every shard store, then the sharded manifest (last)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        shard_dirs: List[str] = []
+        for shard_id, shard in enumerate(self.shards):
+            name = _shard_dir_name(shard_id)
+            shard.save(directory / name)
+            shard_dirs.append(name)
+        manifest = {
+            "version": SHARDED_STORE_VERSION,
+            "mode": self.mode,
+            "n_shards": self.n_shards,
+            "shard_dirs": shard_dirs,
+            "total_rows": self.total_rows,
+            "total_docs": self.total_docs,
+            "extra": self.extra,
+        }
+        atomic_write_json(directory / SHARDED_MANIFEST_NAME, manifest)
+        return directory
+
+    @classmethod
+    def open(
+        cls, directory: Union[str, Path], mmap: bool = True
+    ) -> "ShardedEmbeddingStore":
+        """Load a sharded store saved by :meth:`save`."""
+        directory = Path(directory)
+        manifest_path = directory / SHARDED_MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ShardedStoreError(
+                f"no sharded embedding store at {directory}"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ShardedStoreError(
+                f"unreadable sharded manifest: {error}"
+            ) from error
+        version = manifest.get("version")
+        if version != SHARDED_STORE_VERSION:
+            raise ShardedStoreError(
+                f"sharded store version {version!r} != "
+                f"{SHARDED_STORE_VERSION}"
+            )
+        mode = str(manifest.get("mode", "range"))
+        shard_dirs = manifest.get("shard_dirs")
+        if not isinstance(shard_dirs, list) or not all(
+            isinstance(name, str) for name in shard_dirs
+        ):
+            raise ShardedStoreError("malformed sharded manifest: shard_dirs")
+        shards = [
+            EmbeddingStore.open(directory / name, mmap=mmap)
+            for name in shard_dirs
+        ]
+        return cls(
+            shards=shards,
+            mode=mode,
+            extra=dict(manifest.get("extra") or {}),
+        )

@@ -90,6 +90,17 @@ VIOLATIONS = {
             return scores
         """,
     ),
+    "unordered-topk": (
+        "retriever/merge.py",
+        """
+        import numpy as np
+
+
+        def top_k(scores, k):
+            part = np.argpartition(-scores, k - 1)  ##HERE##
+            return part[:k]
+        """,
+    ),
     "shadowed-builtin-id": (
         "mod.py",
         """
@@ -200,6 +211,18 @@ COMPLIANT = {
             docs_normed = l2_normalize_rows(docs)
             scores = queries_normed @ docs_normed.T
             return scores
+        """,
+    ),
+    "unordered-topk": (
+        "retriever/merge.py",
+        """
+        import numpy as np
+
+
+        def top_k(scores, k):
+            part = np.argpartition(-scores, k - 1)[:k]
+            order = np.lexsort((part, -scores[part]))
+            return part[order]
         """,
     ),
     "shadowed-builtin-id": (
@@ -351,6 +374,34 @@ class TestScoping:
         report = _lint(
             tmp_path, "retriever/scoring.py", source,
             select=["unnormalized-matmul"],
+        )
+        assert report.findings == []
+
+    def test_unordered_topk_covers_the_shard_dir(self, tmp_path):
+        _, raw = VIOLATIONS["unordered-topk"]
+        source, _ = _render(raw, "")
+        report = _lint(
+            tmp_path, "shard/merge.py", source, select=["unordered-topk"]
+        )
+        assert [f.rule_id for f in report.findings] == ["unordered-topk"]
+        elsewhere = _lint(tmp_path, "mod.py", source, select=["unordered-topk"])
+        assert elsewhere.findings == []
+
+    def test_unordered_topk_accepts_the_shared_helper(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+
+            from repro.shard.merge import topk_doc_order
+
+
+            def rank(scores, doc_ids, k):
+                part = np.argpartition(-scores, k - 1)[:k]
+                return topk_doc_order(scores, doc_ids, k), part
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "retriever/rank.py", source, select=["unordered-topk"]
         )
         assert report.findings == []
 

@@ -280,15 +280,98 @@ class TestEmbeddingStore:
             EmbeddingStore.open(tmp_path)
 
     def test_stale_generations_are_collected(self, tmp_path):
+        """Two-generation GC: grace window keeps save N-1, collects N-2."""
+        generations = []
+        for bump in range(3):
+            store = self._build()
+            store.matrix = store.matrix + float(bump)
+            store.save(tmp_path)
+            generations.append(
+                {p.name for p in tmp_path.glob("embeddings-*.f64")}
+            )
+        # save 2 keeps generation 1 in its grace window...
+        assert len(generations[1]) == 2
+        # ...and save 3 collects it: only generations 2 and 3 survive
+        assert len(generations[2]) == 2
+        assert generations[1] - generations[0] <= generations[2]
+        assert not (generations[0] & generations[2])
+        loaded = EmbeddingStore.open(tmp_path)
+        assert np.array_equal(
+            np.asarray(loaded.matrix), self._build().matrix + 2.0
+        )
+
+    def test_resave_identical_content_keeps_grace_window(self, tmp_path):
+        """Re-saving unchanged content must not shrink the grace window."""
         first = self._build()
         first.save(tmp_path)
         second = self._build()
         second.matrix = second.matrix + 1.0
         second.save(tmp_path)
-        remaining = list(tmp_path.glob("embeddings-*.f64"))
-        assert len(remaining) == 1
+        second.save(tmp_path)  # same bytes: same content-addressed name
+        names = {p.name for p in tmp_path.glob("embeddings-*.f64")}
+        assert len(names) == 2  # generation 1 still graced
+
+    def test_open_survives_concurrent_save_gc(self, tmp_path, monkeypatch):
+        """A reader holding the previous manifest survives one writer save.
+
+        Regression for the GC race: ``save`` used to unlink every
+        non-current generation immediately, so a reader that had just
+        parsed the old manifest found its data file gone.
+        """
+        import repro.ingest.embedding_store as es
+
+        gen1 = self._build()
+        gen1.save(tmp_path)
+        gen2 = self._build()
+        gen2.matrix = gen2.matrix + 1.0
+
+        real_attach = es._attach_matrix
+        state = {"raced": False}
+
+        def racing_attach(data_path, rows, dim, mmap):
+            # first attach: a writer lands a full save (manifest replace
+            # + GC) between our manifest read and the memmap
+            if not state["raced"]:
+                state["raced"] = True
+                gen2.save(tmp_path)
+            return real_attach(data_path, rows, dim, mmap)
+
+        monkeypatch.setattr(es, "_attach_matrix", racing_attach)
         loaded = EmbeddingStore.open(tmp_path)
-        assert np.array_equal(np.asarray(loaded.matrix), second.matrix)
+        assert state["raced"]
+        # the graced generation-1 file stayed readable through the save
+        assert np.array_equal(np.asarray(loaded.matrix), gen1.matrix)
+
+    def test_open_retries_once_when_data_file_vanishes(
+        self, tmp_path, monkeypatch
+    ):
+        """A vanished data file triggers exactly one manifest re-read."""
+        import repro.ingest.embedding_store as es
+
+        gen1 = self._build()
+        gen1.save(tmp_path)
+        gen2 = self._build()
+        gen2.matrix = gen2.matrix + 1.0
+        gen3 = self._build()
+        gen3.matrix = gen3.matrix + 2.0
+
+        real_attach = es._attach_matrix
+        state = {"attempts": 0}
+
+        def racing_attach(data_path, rows, dim, mmap):
+            state["attempts"] += 1
+            if state["attempts"] == 1:
+                # two writer generations land: gen1 leaves the grace
+                # window and is unlinked, so this attach must fail
+                gen2.save(tmp_path)
+                gen3.save(tmp_path)
+                assert not data_path.exists()
+            return real_attach(data_path, rows, dim, mmap)
+
+        monkeypatch.setattr(es, "_attach_matrix", racing_attach)
+        loaded = EmbeddingStore.open(tmp_path)
+        assert state["attempts"] == 2  # one retry, against the new manifest
+        assert np.array_equal(np.asarray(loaded.matrix), gen3.matrix)
 
     def test_empty_store_roundtrips(self, tmp_path):
         empty = EmbeddingStore(

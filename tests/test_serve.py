@@ -136,6 +136,14 @@ class TestQueryCacheKey:
         assert query_cache_key("q ?", "paths", 5) != base
         assert query_cache_key("q ?", "single", 6) != base
 
+    def test_nprobe_separates_entries(self):
+        """Pruned results must never answer exact requests (or vice versa)."""
+        exact = query_cache_key("q ?", "single", 5)
+        pruned = query_cache_key("q ?", "single", 5, nprobe=2)
+        assert exact != pruned
+        assert query_cache_key("q ?", "single", 5, nprobe=3) != pruned
+        assert query_cache_key("q ?", "single", 5, nprobe=2) == pruned
+
 
 class TestResultCache:
     def test_hit_miss_and_stats(self):
@@ -193,6 +201,49 @@ class TestResultCache:
         cache.put("a", 1)
         assert cache.get("a") is MISS
         assert len(cache) == 0
+
+    def test_insert_sweeps_expired_dead_weight(self):
+        """Expired entries are reclaimed by inserts, not only by lookups.
+
+        Regression: entries that expired but were never looked up again
+        used to squat in the cache until capacity pressure evicted them.
+        """
+        clock = FakeClock()
+        cache = ResultCache(capacity=64, ttl_s=10.0, clock=clock)
+        for i in range(6):
+            cache.put(f"old{i}", i)
+        clock.advance(11.0)  # all six are now dead weight
+        cache.put("fresh", 99)  # never looked the old ones up
+        assert len(cache) == 1
+        assert cache.stats.expirations == 6
+        assert cache.stats.evictions == 0
+        assert cache.get("fresh") == 99
+
+    def test_sweep_work_per_insert_is_bounded(self):
+        from repro.serve.cache import _SWEEP_LIMIT
+
+        clock = FakeClock()
+        cache = ResultCache(capacity=128, ttl_s=10.0, clock=clock)
+        n_old = _SWEEP_LIMIT * 3
+        for i in range(n_old):
+            cache.put(f"old{i}", i)
+        clock.advance(11.0)
+        cache.put("fresh", 99)
+        # one insert reclaims at most _SWEEP_LIMIT expired entries
+        assert len(cache) == n_old - _SWEEP_LIMIT + 1
+        assert cache.stats.expirations == _SWEEP_LIMIT
+
+    def test_expired_entry_leaving_under_pressure_counts_expiration(self):
+        """Capacity pops of already-dead entries are not LRU evictions."""
+        clock = FakeClock()
+        cache = ResultCache(capacity=2, ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(11.0)  # "a" is expired but still resident
+        cache.put("b", 2)  # sweep reclaims "a" -> expiration
+        cache.put("c", 3)
+        cache.put("d", 4)  # "b" is live -> genuine eviction
+        assert cache.stats.expirations == 1
+        assert cache.stats.evictions == 1
 
 
 # ---------------------------------------------------------------------------
@@ -258,6 +309,65 @@ class TestServiceBasics:
             with pytest.raises(RuntimeError, match="index corrupted"):
                 request.result(timeout=10)
             assert service.stats_snapshot()["failed"] == 1
+
+
+class TestServeNprobe:
+    class RecordingStub:
+        """retrieve_many stub recording the kwargs each batch ran with."""
+
+        def __init__(self):
+            self.calls = []
+
+        def retrieve_many(self, questions, k=10, **kwargs):
+            self.calls.append((list(questions), k, kwargs))
+            return [[(q, k, kwargs.get("nprobe"))] for q in questions]
+
+    def test_nprobe_forwarded_to_retriever(self):
+        stub = self.RecordingStub()
+        with RetrievalService(stub) as service:
+            got = service.retrieve("q ?", k=3, nprobe=2, timeout=10)
+        assert got == [("q ?", 3, 2)]
+        assert stub.calls[-1][2] == {"nprobe": 2}
+
+    def test_no_nprobe_means_no_kwarg(self):
+        """Exact requests pass no nprobe kwarg (pre-sharding stubs work)."""
+        stub = self.RecordingStub()
+        with RetrievalService(stub) as service:
+            service.retrieve("q ?", k=3, timeout=10)
+        assert stub.calls[-1][2] == {}
+
+    def test_default_nprobe_from_config(self):
+        stub = self.RecordingStub()
+        config = ServiceConfig(default_nprobe=3, cache_size=0)
+        with RetrievalService(stub, config=config) as service:
+            got = service.retrieve("q ?", k=3, timeout=10)
+            assert got == [("q ?", 3, 3)]
+            overridden = service.retrieve("q ?", k=3, nprobe=1, timeout=10)
+            assert overridden == [("q ?", 3, 1)]
+
+    def test_pruned_and_exact_requests_never_share_cache(self):
+        stub = self.RecordingStub()
+        config = ServiceConfig(cache_size=16)
+        with RetrievalService(stub, config=config) as service:
+            exact = service.retrieve("q ?", k=3, timeout=10)
+            pruned = service.retrieve("q ?", k=3, nprobe=1, timeout=10)
+            assert exact != pruned
+            assert service.stats_snapshot()["cache_hits"] == 0
+            # but an identical pruned request does hit
+            again = service.retrieve("q ?", k=3, nprobe=1, timeout=10)
+            assert again is pruned
+            assert service.stats_snapshot()["cache_hits"] == 1
+
+    def test_differing_nprobe_does_not_coalesce(self):
+        """Batches stay homogeneous in (mode, k, nprobe)."""
+        from repro.serve.batching import PendingRequest
+
+        a = PendingRequest("q ?", "single", 3, ("key1",), None, nprobe=1)
+        b = PendingRequest("q ?", "single", 3, ("key2",), None, nprobe=2)
+        c = PendingRequest("q ?", "single", 3, ("key3",), None)
+        assert a.batch_key != b.batch_key
+        assert a.batch_key != c.batch_key
+        assert c.batch_key == ("single", 3, None)
 
 
 # ---------------------------------------------------------------------------
