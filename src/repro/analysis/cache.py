@@ -1,0 +1,175 @@
+"""Per-file result cache making the lint gate incremental.
+
+Parsing and rule-checking one file is pure: the findings, suppression
+map and module summary depend only on (file content, rule set, config).
+So each file's phase-1 output persists under ``.repro-lint-cache/``
+keyed by
+
+* the file's repo-relative path,
+* the SHA-256 of its raw bytes,
+* the *run fingerprint*: :data:`~repro.analysis.core.RULESET_VERSION`,
+  the resolved rule ids, and every config field that can change
+  findings — derived with the same canonical-digest machinery
+  (:func:`repro.ingest.fingerprint.hash_texts`) that drives incremental
+  ingestion.
+
+Editing a file misses only that file's entry; editing the config or
+bumping the ruleset version misses everything (the key changed), and the
+stale entries are simply never read again. Entries are written through
+:func:`repro.storage.atomic.atomic_write_json`, so concurrent workers
+racing on the same entry each land a complete file and the loser's
+``os.replace`` just rewrites identical content.
+
+The cache is best-effort by design: any unreadable, corrupt or
+version-skewed entry is a miss, and a write failure (read-only checkout,
+full disk) degrades to uncached linting rather than an error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.analysis.config import LintConfig
+from repro.analysis.core import RULESET_VERSION, Finding
+from repro.analysis.project import ModuleSummary
+from repro.ingest.fingerprint import hash_texts
+from repro.storage.atomic import atomic_write_json
+
+#: On-disk entry format; bump on layout changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache location, relative to the lint root.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def run_fingerprint(config: LintConfig, rule_ids: List[str]) -> str:
+    """Digest of everything besides file content that shapes findings.
+
+    ``config.root`` is deliberately excluded: it only anchors relative
+    paths, and the relative path is part of each entry key already, so
+    including the absolute root would needlessly split caches across
+    checkouts.
+    """
+    payload = {
+        "ruleset_version": RULESET_VERSION,
+        "cache_format": CACHE_FORMAT_VERSION,
+        "rules": sorted(rule_ids),
+        "paths": list(config.paths),
+        "select": list(config.select),
+        "ignore": list(config.ignore),
+        "allow": {
+            rule_id: list(patterns)
+            for rule_id, patterns in sorted(config.allow.items())
+        },
+        "layers_order": list(config.layers_order),
+        "layers": {
+            layer: list(prefixes)
+            for layer, prefixes in sorted(config.layers.items())
+        },
+        "dead_symbol_allow": list(config.dead_symbol_allow),
+    }
+    return hash_texts(
+        ["lint-run:v1", json.dumps(payload, sort_keys=True)]
+    )
+
+
+#: What a cache hit restores: the (already suppression/allow-filtered)
+#: file-local findings, the suppression map phase 2 re-applies to
+#: project findings, and the module summary phase 2 builds its model on.
+CacheEntry = Tuple[
+    List[Finding], Dict[int, Set[str]], Optional[ModuleSummary]
+]
+
+
+class LintCache:
+    """One run's view of the on-disk cache (fingerprint pre-bound)."""
+
+    def __init__(
+        self, directory: Union[str, Path], fingerprint: str
+    ) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self._prepared = False
+
+    def _entry_path(self, rel_path: str, content_sha: str) -> Path:
+        key = hash_texts(
+            ["lint-entry:v1", rel_path, content_sha, self.fingerprint]
+        )
+        return self.directory / f"{key}.json"
+
+    def load(self, rel_path: str, content_sha: str) -> Optional[CacheEntry]:
+        """The cached phase-1 result, or ``None`` on any miss/corruption."""
+        path = self._entry_path(rel_path, content_sha)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        try:
+            if payload["version"] != CACHE_FORMAT_VERSION:
+                return None
+            if payload["rel_path"] != rel_path:
+                return None  # hash collision or tampering: recompute
+            findings = [
+                Finding(
+                    rule_id=str(item["rule"]),
+                    path=str(item["path"]),
+                    line=int(item["line"]),
+                    col=int(item["col"]),
+                    message=str(item["message"]),
+                )
+                for item in payload["findings"]
+            ]
+            suppressions = {
+                int(line): set(ids)
+                for line, ids in payload["suppressed"].items()
+            }
+            summary_data = payload["summary"]
+            summary = (
+                ModuleSummary.from_dict(summary_data)
+                if summary_data is not None
+                else None
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        return findings, suppressions, summary
+
+    def store(
+        self,
+        rel_path: str,
+        content_sha: str,
+        findings: List[Finding],
+        suppressions: Dict[int, Set[str]],
+        summary: Optional[ModuleSummary],
+    ) -> None:
+        """Persist one phase-1 result (best-effort; failures degrade)."""
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "rel_path": rel_path,
+            "content_sha": content_sha,
+            "findings": [
+                {
+                    "rule": finding.rule_id,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ],
+            "suppressed": {
+                str(line): sorted(ids)
+                for line, ids in sorted(suppressions.items())
+            },
+            "summary": summary.to_dict() if summary is not None else None,
+        }
+        try:
+            if not self._prepared:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                self._prepared = True
+            atomic_write_json(
+                self._entry_path(rel_path, content_sha), payload
+            )
+        except OSError:
+            pass  # lint: ignore[except-pass] -- cache is best-effort; a full disk must not fail the lint run

@@ -8,9 +8,11 @@ The moving parts:
   findings from :meth:`Rule.check`. Registration via :func:`register`.
 * suppression comments — ``# lint: ignore[rule-a, rule-b]`` silences the
   named rules on that line; bare ``# lint: ignore`` silences every rule.
-* :func:`run_lint` — walk paths, parse each file once, run the selected
-  rules, filter suppressed findings and per-rule ``allow`` path patterns
-  from the config, and return a :class:`LintReport`.
+
+The driver itself — :func:`repro.analysis.engine.run_lint` — lives in
+:mod:`repro.analysis.engine`: it runs phase 1 (per-file parsing,
+file-local rules, module summaries, optionally cached and parallel) and
+phase 2 (project rules over the assembled model).
 
 A file that fails to parse produces a single ``parse-error`` finding
 instead of crashing the run, so the gate also catches syntax rot.
@@ -30,6 +32,11 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
 from repro.analysis.config import LintConfig
 
 PARSE_ERROR = "parse-error"
+
+#: Version of the rule set + per-file summary format. Bump whenever a
+#: rule's behavior or the ModuleSummary wire format changes, so stale
+#: ``.repro-lint-cache`` entries computed under old semantics miss.
+RULESET_VERSION = 2
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([^\]]*)\])?")
 
@@ -233,6 +240,7 @@ class LintReport:
 
     findings: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
+    files_cached: int = 0  # phase-1 results served from the result cache
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -240,26 +248,3 @@ class LintReport:
         for finding in self.findings:
             out[finding.rule_id] = out.get(finding.rule_id, 0) + 1
         return out
-
-
-def run_lint(
-    paths: Iterable[Path],
-    select: Optional[Sequence[str]] = None,
-    ignore: Optional[Sequence[str]] = None,
-    config: Optional[LintConfig] = None,
-) -> LintReport:
-    """Lint every Python file under ``paths`` with the selected rules.
-
-    ``select``/``ignore`` override the config's own lists when given;
-    unknown rule ids raise ``ValueError`` so typos fail loudly.
-    """
-    config = config if config is not None else LintConfig()
-    select = select if select is not None else (config.select or None)
-    ignore = ignore if ignore is not None else (config.ignore or None)
-    rules = _resolve_rules(select, ignore)
-    report = LintReport()
-    for path in iter_python_files(paths):
-        report.files_scanned += 1
-        report.findings.extend(lint_file(path, rules, config))
-    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    return report

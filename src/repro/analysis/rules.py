@@ -213,19 +213,45 @@ class BareExcept(Rule):
 
 @register
 class ExceptPass(Rule):
-    """An except body of only ``pass`` silently discards the failure."""
+    """An except body that only discards the failure, in any spelling.
+
+    Three shapes fire: ``except ...: pass`` (any handler type), the
+    ``except ...: ...`` Ellipsis body that reads like a stub but runs
+    like a swallow, and bare ``except: continue`` — which not only eats
+    the error but also hides *which* loop iterations silently failed.
+    A typed ``except SomeError: continue`` is the legitimate
+    skip-bad-items idiom and stays allowed.
+    """
 
     id = "except-pass"
-    description = "'except ...: pass' silently swallows the error"
+    description = (
+        "'except ...: pass' / 'except ...: ...' / bare 'except: continue' "
+        "silently swallows the error"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
-            if len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+            if len(node.body) != 1:
+                continue
+            body = node.body[0]
+            swallows = isinstance(body, ast.Pass) or (
+                isinstance(body, ast.Expr)
+                and isinstance(body.value, ast.Constant)
+                and body.value.value is Ellipsis
+            )
+            # bare 'except: continue' in a loop swallows *and* skips;
+            # a typed handler with continue is deliberate item-skipping
+            if (
+                isinstance(body, ast.Continue)
+                and node.type is None
+            ):
+                swallows = True
+            if swallows:
                 yield self.finding(
                     ctx,
-                    node.body[0],
+                    body,
                     "exception handler silently swallows the error; handle "
                     "it, log it, or narrow the type and say why in a comment",
                 )

@@ -164,7 +164,8 @@ class RetrievalService:
 
     @property
     def running(self) -> bool:
-        return self._running
+        with self._state_lock:
+            return self._running
 
     def pending(self) -> int:
         """Requests currently queued (excludes the batch being served)."""
@@ -196,8 +197,9 @@ class RetrievalService:
                 "service was built without a MultiHopRetriever; "
                 "mode='paths' is unavailable"
             )
-        if not self._running:
-            raise ServiceStopped("service is not running; call start()")
+        with self._state_lock:
+            if not self._running:
+                raise ServiceStopped("service is not running; call start()")
         k = k if k is not None else cfg.default_k
         deadline_s = (
             deadline_s if deadline_s is not None else cfg.default_deadline_s

@@ -27,7 +27,6 @@ import numpy as np
 from repro.retriever.strategies import (
     ScoreStrategy,
     aggregate_segments,
-    l2_normalize_rows,
 )
 from repro.shard.assignment import (
     MODES,
@@ -318,9 +317,3 @@ def _labels_are_contiguous(labels: np.ndarray) -> bool:
     if labels.shape[0] <= 1:
         return True
     return bool(np.all(np.diff(labels) >= 0))
-
-
-def build_query_normed(query_matrix: np.ndarray) -> np.ndarray:
-    """Normalize a query batch exactly like the unsharded scorer."""
-    queries = np.atleast_2d(np.asarray(query_matrix, dtype=np.float64))
-    return l2_normalize_rows(queries)

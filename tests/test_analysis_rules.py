@@ -139,6 +139,81 @@ VIOLATIONS = {
             (out_dir / "report.json").write_text(json.dumps(report))  ##HERE##
         """,
     ),
+    "unlocked-shared-state": (
+        "serve/state.py",
+        """
+        import threading
+
+
+        class Tracker:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._hits = 0
+
+            def record(self):
+                with self._lock:
+                    self._hits += 1
+
+            def snapshot(self):
+                return self._hits  ##HERE##
+        """,
+    ),
+    "lock-order-cycle": (
+        "serve/locks.py",
+        """
+        import threading
+
+
+        class Source:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.sink = Sink(self)
+
+            def push(self):
+                with self._lock:
+                    self.sink.accept()  ##HERE##
+
+
+        class Sink:
+            def __init__(self, source):
+                self._lock = threading.Lock()
+                self.source: Source = source
+
+            def accept(self):
+                with self._lock:
+                    return True
+
+            def flush(self):
+                with self._lock:
+                    self.source.push()
+        """,
+    ),
+    "layering-violation": (
+        "src/repro/nn/hotpath.py",
+        """
+        from repro.serve.service import RetrievalService  ##HERE##
+
+
+        def warm(service):
+            return service.running
+        """,
+    ),
+    "dead-symbol": (
+        "pkg/leftover.py",
+        """
+        def orphan_helper():  ##HERE##
+            return 1
+        """,
+    ),
+}
+
+# rule id -> extra LintConfig kwargs a fixture needs (e.g. the layer DAG
+# for layering-violation); merged into the per-test config.
+RULE_CONFIGS = {
+    "layering-violation": dict(
+        layers_order=("foundation", "serving"),
+        layers={"foundation": ("repro.nn",), "serving": ("repro.serve",)},
+    ),
 }
 
 # rule id -> compliant rewrite of the same logic; must produce no finding.
@@ -263,6 +338,77 @@ COMPLIANT = {
             atomic_write_json(out_dir / "report.json", report)
         """,
     ),
+    "unlocked-shared-state": (
+        "serve/state.py",
+        """
+        import threading
+
+
+        class Tracker:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._hits = 0
+
+            def record(self):
+                with self._lock:
+                    self._hits += 1
+
+            def snapshot(self):
+                with self._lock:
+                    return self._hits
+        """,
+    ),
+    "lock-order-cycle": (
+        "serve/locks.py",
+        """
+        import threading
+
+
+        class Source:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.sink = Sink(self)
+
+            def push(self):
+                with self._lock:
+                    self.sink.accept()
+
+
+        class Sink:
+            def __init__(self, source):
+                self._lock = threading.Lock()
+                self.source: Source = source
+
+            def accept(self):
+                with self._lock:
+                    return True
+
+            def flush(self):
+                # calls back into Source *without* holding own lock, so
+                # both paths acquire in the same global order
+                self.source.push()
+        """,
+    ),
+    "layering-violation": (
+        "src/repro/serve/front.py",
+        """
+        from repro.nn.layers import Linear
+
+
+        def build():
+            return Linear()
+        """,
+    ),
+    "dead-symbol": (
+        "pkg/used.py",
+        """
+        def helper():
+            return 1
+
+
+        RESULT = helper()
+        """,
+    ),
 }
 
 
@@ -286,12 +432,19 @@ def _lint(tmp_path, rel, source, select=None, config=None):
     return run_lint([path], select=select, config=cfg)
 
 
+def _config_for(rule_id, tmp_path):
+    return LintConfig(root=tmp_path, **RULE_CONFIGS.get(rule_id, {}))
+
+
 class TestEachRule:
     @pytest.mark.parametrize("rule_id", sorted(VIOLATIONS))
     def test_violation_fires(self, tmp_path, rule_id):
         rel, raw = VIOLATIONS[rule_id]
         source, marker_line = _render(raw, "")
-        report = _lint(tmp_path, rel, source, select=[rule_id])
+        report = _lint(
+            tmp_path, rel, source, select=[rule_id],
+            config=_config_for(rule_id, tmp_path),
+        )
         assert [f.rule_id for f in report.findings] == [rule_id]
         assert report.findings[0].line == marker_line
         assert report.findings[0].message
@@ -300,7 +453,10 @@ class TestEachRule:
     def test_suppression_suppresses(self, tmp_path, rule_id):
         rel, raw = VIOLATIONS[rule_id]
         source, _ = _render(raw, f"# lint: ignore[{rule_id}]")
-        report = _lint(tmp_path, rel, source, select=[rule_id])
+        report = _lint(
+            tmp_path, rel, source, select=[rule_id],
+            config=_config_for(rule_id, tmp_path),
+        )
         assert report.findings == []
 
     @pytest.mark.parametrize("rule_id", sorted(COMPLIANT))
@@ -309,6 +465,7 @@ class TestEachRule:
         report = _lint(
             tmp_path, rel, textwrap.dedent(source).strip("\n") + "\n",
             select=[rule_id],
+            config=_config_for(rule_id, tmp_path),
         )
         assert report.findings == []
 
@@ -317,10 +474,313 @@ class TestEachRule:
         assert set(VIOLATIONS) == set(all_rule_ids())
 
 
+class TestExceptPassVariants:
+    """Satellite shapes of except-pass: Ellipsis body, bare continue."""
+
+    def test_ellipsis_body_fires(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            def guard(fn):
+                try:
+                    return fn()
+                except ValueError:
+                    ...
+            """
+        ).strip("\n") + "\n"
+        report = _lint(tmp_path, "mod.py", source, select=["except-pass"])
+        assert [f.rule_id for f in report.findings] == ["except-pass"]
+        assert report.findings[0].line == 5
+
+    def test_ellipsis_body_suppressible(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            def guard(fn):
+                try:
+                    return fn()
+                except ValueError:
+                    ...  # lint: ignore[except-pass]
+            """
+        ).strip("\n") + "\n"
+        report = _lint(tmp_path, "mod.py", source, select=["except-pass"])
+        assert report.findings == []
+
+    def test_bare_except_continue_in_loop_fires(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            def drain(items, fn):
+                for item in items:
+                    try:
+                        fn(item)
+                    except:
+                        continue
+            """
+        ).strip("\n") + "\n"
+        report = _lint(tmp_path, "mod.py", source, select=["except-pass"])
+        assert [f.rule_id for f in report.findings] == ["except-pass"]
+        assert report.findings[0].line == 6
+
+    def test_bare_except_continue_suppressible(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            def drain(items, fn):
+                for item in items:
+                    try:
+                        fn(item)
+                    except:
+                        continue  # lint: ignore[except-pass]
+            """
+        ).strip("\n") + "\n"
+        report = _lint(tmp_path, "mod.py", source, select=["except-pass"])
+        assert report.findings == []
+
+    def test_typed_except_continue_is_allowed(self, tmp_path):
+        # skipping bad items with a *named* exception type is the
+        # sanctioned idiom (e.g. _relativize's ValueError skip)
+        source = textwrap.dedent(
+            """
+            def drain(items, fn):
+                out = []
+                for item in items:
+                    try:
+                        out.append(fn(item))
+                    except ValueError:
+                        continue
+                return out
+            """
+        ).strip("\n") + "\n"
+        report = _lint(tmp_path, "mod.py", source, select=["except-pass"])
+        assert report.findings == []
+
+
+class TestProjectRuleSemantics:
+    """Cross-file behaviour the single-file fixtures cannot express."""
+
+    def test_dead_symbol_sees_references_from_other_files(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "lib.py").write_text(
+            "def helper():\n    return 1\n", encoding="utf-8"
+        )
+        (tmp_path / "pkg" / "app.py").write_text(
+            "from pkg.lib import helper\n\nVALUE = helper()\n",
+            encoding="utf-8",
+        )
+        report = run_lint(
+            [tmp_path / "pkg"], select=["dead-symbol"],
+            config=LintConfig(root=tmp_path),
+        )
+        assert report.findings == []
+
+    def test_dead_symbol_silent_on_partial_runs(self, tmp_path):
+        # config declares a second path that exists but is not scanned:
+        # the rule cannot prove the symbol is unreferenced
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "other").mkdir()
+        (tmp_path / "other" / "mod.py").write_text("X = 1\n", encoding="utf-8")
+        (tmp_path / "pkg" / "lib.py").write_text(
+            "def orphan():\n    return 1\n", encoding="utf-8"
+        )
+        config = LintConfig(paths=("pkg", "other"), root=tmp_path)
+        partial = run_lint(
+            [tmp_path / "pkg"], select=["dead-symbol"], config=config
+        )
+        assert partial.findings == []
+        full = run_lint(
+            [tmp_path / "pkg", tmp_path / "other"],
+            select=["dead-symbol"], config=config,
+        )
+        assert [f.rule_id for f in full.findings] == ["dead-symbol"]
+
+    def test_dead_symbol_allow_list(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "lib.py").write_text(
+            "def entry_point():\n    return 1\n", encoding="utf-8"
+        )
+        config = LintConfig(
+            root=tmp_path, dead_symbol_allow=("pkg.lib.entry_*",)
+        )
+        report = run_lint(
+            [tmp_path / "pkg"], select=["dead-symbol"], config=config
+        )
+        assert report.findings == []
+
+    def test_dead_symbol_keeps_decorated_and_dunder_defs(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "lib.py").write_text(
+            textwrap.dedent(
+                """
+                import atexit
+
+
+                @atexit.register
+                def cleanup():
+                    return None
+
+
+                def __getattr__(name):
+                    raise AttributeError(name)
+                """
+            ).strip("\n") + "\n",
+            encoding="utf-8",
+        )
+        report = run_lint(
+            [tmp_path / "pkg"], select=["dead-symbol"],
+            config=LintConfig(root=tmp_path),
+        )
+        assert report.findings == []
+
+    def test_import_cycle_across_files(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "alpha.py").write_text(
+            "import pkg.beta\n\nA = 1\n", encoding="utf-8"
+        )
+        (tmp_path / "pkg" / "beta.py").write_text(
+            "import pkg.alpha\n\nB = 2\n", encoding="utf-8"
+        )
+        report = run_lint(
+            [tmp_path / "pkg"], select=["layering-violation"],
+            config=LintConfig(root=tmp_path),
+        )
+        assert [f.rule_id for f in report.findings] == ["layering-violation"]
+        assert "import cycle" in report.findings[0].message
+
+    def test_deferred_import_breaks_cycle(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "alpha.py").write_text(
+            "import pkg.beta\n\nA = 1\n", encoding="utf-8"
+        )
+        (tmp_path / "pkg" / "beta.py").write_text(
+            "def late():\n    import pkg.alpha\n    return pkg.alpha.A\n",
+            encoding="utf-8",
+        )
+        report = run_lint(
+            [tmp_path / "pkg"], select=["layering-violation"],
+            config=LintConfig(root=tmp_path),
+        )
+        assert report.findings == []
+
+    def test_unlocked_shared_state_ignores_immutable_config(self, tmp_path):
+        # attributes only ever assigned in __init__ are read-only
+        # configuration; reading them unlocked is fine
+        source = textwrap.dedent(
+            """
+            import threading
+
+
+            class Sized:
+                def __init__(self, capacity):
+                    self._lock = threading.Lock()
+                    self.capacity = capacity
+                    self._items = []
+
+                def add(self, item):
+                    with self._lock:
+                        self._items.append(item)
+
+                def limit(self):
+                    return self.capacity
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "serve/sized.py", source,
+            select=["unlocked-shared-state"],
+        )
+        assert report.findings == []
+
+    def test_unlocked_shared_state_flags_container_mutation(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import threading
+
+
+            class Bag:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    self._items.append(item)
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "ingest/bag.py", source,
+            select=["unlocked-shared-state"],
+        )
+        assert [f.rule_id for f in report.findings] == [
+            "unlocked-shared-state"
+        ]
+
+    def test_unlocked_shared_state_scoped_to_concurrent_dirs(self, tmp_path):
+        _, raw = VIOLATIONS["unlocked-shared-state"]
+        source, _ = _render(raw, "")
+        report = _lint(
+            tmp_path, "retriever/state.py", source,
+            select=["unlocked-shared-state"],
+        )
+        assert report.findings == []
+
+    def test_lock_order_consistent_ordering_is_clean(self, tmp_path):
+        # both methods take the locks in the same order: no cycle
+        source = textwrap.dedent(
+            """
+            import threading
+
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            return 1
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            return 2
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "serve/pair.py", source, select=["lock-order-cycle"]
+        )
+        assert report.findings == []
+
+    def test_lock_order_nested_inversion_fires(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import threading
+
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            return 1
+
+                def two(self):
+                    with self._b:
+                        with self._a:
+                            return 2
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "serve/pair.py", source, select=["lock-order-cycle"]
+        )
+        assert [f.rule_id for f in report.findings] == ["lock-order-cycle"]
+
+
 class TestSuppressionSemantics:
     def test_bare_ignore_suppresses_every_rule(self, tmp_path):
         rel, raw = VIOLATIONS["shadowed-builtin-id"]
         source, _ = _render(raw, "# lint: ignore")
+        # reference the fixture's def so the (unsuppressed, line-1)
+        # dead-symbol pass has nothing to say either
+        source += "\nUSE = first\n"
         report = _lint(tmp_path, rel, source)
         assert report.findings == []
 

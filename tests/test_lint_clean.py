@@ -11,11 +11,31 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import load_config, render_text, run_lint
+from repro.analysis import all_rule_ids, load_config, render_text, run_lint
 
 pytestmark = pytest.mark.lint
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+PROJECT_RULES = {
+    "unlocked-shared-state",
+    "lock-order-cycle",
+    "layering-violation",
+    "dead-symbol",
+}
+
+
+def test_project_passes_are_registered():
+    """The gate below is only meaningful if phase 2 actually runs."""
+    registered = set(all_rule_ids())
+    assert PROJECT_RULES <= registered
+    assert len(registered) >= 16
+
+
+def test_layer_dag_is_configured():
+    config = load_config(REPO_ROOT)
+    assert config.layers_order, "layering rule disabled: no layer order"
+    assert set(config.layers) == set(config.layers_order)
 
 
 def test_repository_lints_clean():
