@@ -947,3 +947,109 @@ class NonatomicArtifactWrite(Rule):
                 name = self._artifact_name(func.value, table)
                 if name is not None:
                     yield self._flag(ctx, node, name)
+
+
+# ---------------------------------------------------------------------------
+# hardcoded-dtype
+# ---------------------------------------------------------------------------
+
+# layers that hold or move embedding matrices: dtype there is policy,
+# owned by repro.precision; spelling it inline silently forks the policy
+DTYPE_DIRS = frozenset(
+    {"retriever", "shard", "ingest", "encoder", "nn", "serve"}
+)
+_POLICY_DTYPES = frozenset({"float64", "float32"})
+
+
+@register
+class HardcodedDtype(Rule):
+    """Embedding-layer code must take its dtype from ``repro.precision``.
+
+    The matrix dtype is one end-to-end policy: the encoder, the stores,
+    the shard plans and the serving layer all read it from
+    ``repro.precision`` (``Precision.dtype``, ``TRAINING_DTYPE``,
+    ``ACCUM_DTYPE``, ``STORE_DTYPES``). A literal ``np.float64`` /
+    ``np.float32`` / ``astype("float64")`` in those layers re-forks the
+    policy per call site — exactly the drift that made the float32
+    migration a fifteen-file hunt. ``repro/precision.py`` itself is the
+    one place the names may be spelled.
+    """
+
+    id = "hardcoded-dtype"
+    description = (
+        "literal float64/float32 dtype in an embedding layer; take the "
+        "dtype from repro.precision"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if Path(ctx.rel_path).name == "precision.py":
+            return False  # the policy definition itself
+        return bool(ctx.dir_parts & DTYPE_DIRS) and not ctx.is_test_file
+
+    def _numpy_aliases(self, tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+        """(names bound to numpy, names bound to numpy.float64/float32)."""
+        modules: Set[str] = set()
+        members: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        modules.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+                for alias in node.names:
+                    if alias.name in _POLICY_DTYPES:
+                        members.add(alias.asname or alias.name)
+        return modules, members
+
+    def _flag(self, ctx: FileContext, node: ast.AST, spelled: str) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"hardcoded dtype {spelled}: embedding-layer dtypes are "
+            "policy — take them from repro.precision (Precision.dtype, "
+            "TRAINING_DTYPE, ACCUM_DTYPE, STORE_DTYPES)",
+        )
+
+    def _string_dtype_args(self, node: ast.Call) -> Iterator[ast.expr]:
+        """String dtype literals in astype(...) args or dtype= keywords."""
+        func = node.func
+        candidates: List[ast.expr] = []
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            candidates.extend(node.args[:1])
+        candidates.extend(
+            keyword.value
+            for keyword in node.keywords
+            if keyword.arg == "dtype"
+        )
+        for expr in candidates:
+            if (
+                isinstance(expr, ast.Constant)
+                and isinstance(expr.value, str)
+                and expr.value in _POLICY_DTYPES
+            ):
+                yield expr
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        modules, members = self._numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            # np.float64 / np.float32 attribute literals
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _POLICY_DTYPES
+                and isinstance(node.value, ast.Name)
+                and node.value.id in modules
+            ):
+                yield self._flag(
+                    ctx, node, f"{node.value.id}.{node.attr}"
+                )
+            # from numpy import float64 [as f8] — any later use
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in members
+            ):
+                yield self._flag(ctx, node, node.id)
+            # astype("float64") / dtype="float32" string literals
+            elif isinstance(node, ast.Call):
+                for expr in self._string_dtype_args(node):
+                    yield self._flag(ctx, expr, repr(expr.value))

@@ -115,7 +115,11 @@ def cmd_ingest(args) -> int:
                 dim=args.dim, n_layers=1, n_heads=4, max_len=40,
                 residual_scale=0.05,
             ),
+            precision=args.precision,
         )
+    if args.quantize and not args.shards:
+        print("error: --quantize requires --shards", file=sys.stderr)
+        return 2
     result = pipeline.run(Path(args.out), encoder=encoder)
     print(
         f"ingested {result.stats.docs_total} docs "
@@ -135,10 +139,11 @@ def cmd_ingest(args) -> int:
             result.embeddings, args.shards, mode=args.shard_mode
         )
         shards_dir = Path(args.out) / "shards"
-        sharded.save(shards_dir)
+        sharded.save(shards_dir, quantize=args.quantize)
         print(
             f"sharded {sharded.total_docs} docs into {sharded.n_shards} "
             f"{sharded.mode} shard(s) under {shards_dir}"
+            + (" with int8 sidecars" if args.quantize else "")
         )
     if args.stats:
         print(result.stats.summary())
@@ -282,8 +287,25 @@ def cmd_serve_bench(args) -> int:
     if not questions:
         print("error: no queries to replay", file=sys.stderr)
         return 2
+    precision = None
+    if args.precision is not None:
+        from repro.precision import Precision
+
+        precision = Precision(
+            mode=args.precision, rescore_width=args.rescore_width
+        )
+        if precision.quantized and not args.shards:
+            print(
+                "error: --precision int8-rescore requires --shards",
+                file=sys.stderr,
+            )
+            return 2
     if args.shards:
-        system.retriever.build_shards(args.shards, mode=args.shard_mode)
+        system.retriever.build_shards(
+            args.shards,
+            mode=args.shard_mode,
+            quantize=precision is not None and precision.quantized,
+        )
     elif args.nprobe is not None:
         print(
             "error: --nprobe requires --shards", file=sys.stderr
@@ -297,6 +319,7 @@ def cmd_serve_bench(args) -> int:
         cache_size=args.cache_size,
         default_k=args.k,
         default_nprobe=args.nprobe,
+        default_precision=precision.key() if precision else None,
     )
     service = RetrievalService(
         system.retriever, multihop=system.multihop, config=config
@@ -386,6 +409,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument("--dim", type=int, default=96,
                         help="encoder dimension when --encode is given")
+    ingest.add_argument(
+        "--precision", choices=("float32", "float64"), default=None,
+        help="embedding store dtype when --encode is given "
+        "(default: the float32 policy default)",
+    )
+    ingest.add_argument(
+        "--quantize", action="store_true",
+        help="also write per-shard int8 sidecars (requires --shards)",
+    )
     ingest.add_argument(
         "--shards", type=int, default=0, metavar="N",
         help="also split the embedding store into N shard stores under "
@@ -511,6 +543,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--nprobe", type=int, default=None,
         help="shards probed per request (default: all = exact)",
+    )
+    serve_bench.add_argument(
+        "--precision",
+        choices=("float64", "float32", "int8-rescore"),
+        default=None,
+        help="precision policy of every replayed request (default: the "
+        "retriever's own; int8-rescore requires --shards)",
+    )
+    serve_bench.add_argument(
+        "--rescore-width", type=int, default=64,
+        help="documents exactly rescored per query under int8-rescore",
     )
     serve_bench.add_argument(
         "--format", choices=("text", "json"), default="text",

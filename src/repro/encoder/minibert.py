@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.nn.serialize import load_weights, save_weights
+from repro.precision import TRAINING_DTYPE, PrecisionLike, cast_matrix, resolve
 from repro.storage.atomic import atomic_write_bytes
 from repro.nn.tensor import Tensor
 from repro.nn.transformer import TransformerEncoder
@@ -53,9 +54,19 @@ class MiniBertEncoder:
     representation for the input sentence."
     """
 
-    def __init__(self, vocab: Vocab, config: Optional[EncoderConfig] = None):
+    def __init__(
+        self,
+        vocab: Vocab,
+        config: Optional[EncoderConfig] = None,
+        precision: PrecisionLike = None,
+    ):
         self.vocab = vocab
         self.config = config or EncoderConfig()
+        # output dtype policy: training math stays TRAINING_DTYPE inside
+        # the model; inference output is cast at this boundary. Not part
+        # of the encoder fingerprint — a dtype change is caught by the
+        # explicit dtype checks at store attach / segment reuse instead.
+        self.precision = resolve(precision)
         self.model = TransformerEncoder(
             vocab_size=len(vocab),
             dim=self.config.dim,
@@ -108,7 +119,7 @@ class MiniBertEncoder:
         width = max(len(ids) for ids in encoded)
         pad = self.vocab.pad_id
         ids = np.full((len(encoded), width), pad, dtype=np.int64)
-        mask = np.zeros((len(encoded), width), dtype=np.float64)
+        mask = np.zeros((len(encoded), width), dtype=TRAINING_DTYPE)
         for row, seq in enumerate(encoded):
             ids[row, : len(seq)] = seq
             mask[row, : len(seq)] = 1.0
@@ -135,16 +146,23 @@ class MiniBertEncoder:
         return summed / Tensor(totals)
 
     def encode_numpy(self, texts: Sequence[str], batch_size: int = 64) -> np.ndarray:
-        """Gradient-free encoding for inference; batches long inputs."""
+        """Gradient-free encoding for inference; batches long inputs.
+
+        Output is cast to the encoder's precision dtype (float32 by
+        default; float64 in the opt-in exact parity mode). The cast
+        happens once, here, so every downstream matrix — stacked store,
+        shard plans, query vectors — inherits one policy dtype.
+        """
         was_training = self.model.training
         self.model.eval()
+        dtype = self.precision.dtype
         try:
             chunks = []
             for start in range(0, len(texts), batch_size):
                 chunk = texts[start : start + batch_size]
-                chunks.append(self.encode(chunk).numpy())
+                chunks.append(cast_matrix(self.encode(chunk).numpy(), dtype))
             return np.concatenate(chunks, axis=0) if chunks else np.zeros(
-                (0, self.config.dim)
+                (0, self.config.dim), dtype=dtype
             )
         finally:
             if was_training:

@@ -12,9 +12,13 @@ expensive step of a cold start. This module persists it:
   triples_fingerprint` of the flattened triples each segment encodes)
   and the encoder / construction fingerprints the rows were computed
   under.
-* ``embeddings-<digest>.f64`` — the raw row-major float64 matrix,
-  content-addressed by digest so a new generation never overwrites the
-  file an existing manifest points at.
+* ``embeddings-<digest>.f32`` / ``.f64`` — the raw row-major matrix in
+  the store's dtype (float32 under the default precision policy,
+  float64 in exact parity mode), content-addressed by digest so a new
+  generation never overwrites the file an existing manifest points at.
+  The manifest's ``dtype`` field (format version 2) is authoritative;
+  version-1 manifests predate the field and always load as float64 via
+  an explicit legacy path.
 
 Writes are crash-safe: the data file lands first under its new
 content-addressed name, then the manifest is atomically replaced to
@@ -42,20 +46,35 @@ from typing import Dict, List, Union
 
 import numpy as np
 
+from repro.precision import (
+    F64,
+    PrecisionError,
+    STORE_DTYPES,
+    dtype_named,
+    file_suffix,
+    suffix_dtype,
+)
 from repro.storage.atomic import atomic_write_bytes, atomic_write_json
 
 MANIFEST_NAME = "manifest.json"
-STORE_VERSION = 1
-_DTYPE = np.float64
+STORE_VERSION = 2
+#: Pre-dtype manifests: no ``dtype`` field, data always float64 ``.f64``.
+LEGACY_STORE_VERSION = 1
 
 
 def _attach_matrix(
     data_path: Path, rows: int, dim: int, mmap: bool
 ) -> np.ndarray:
-    """Map or read the raw matrix file (module-level so tests can hook it)."""
+    """Map or read the raw matrix file (module-level so tests can hook it).
+
+    The dtype travels in the file suffix (``.f32``/``.f64``; anything
+    else is a legacy float64 file), which keeps this hook's signature
+    stable across the dtype-policy refactor.
+    """
+    dtype = suffix_dtype(data_path.suffix.lstrip("."))
     if mmap:
-        return np.memmap(data_path, dtype=_DTYPE, mode="r", shape=(rows, dim))
-    return np.fromfile(data_path, dtype=_DTYPE).reshape(rows, dim)
+        return np.memmap(data_path, dtype=dtype, mode="r", shape=(rows, dim))
+    return np.fromfile(data_path, dtype=dtype).reshape(rows, dim)
 
 
 class EmbeddingStoreError(RuntimeError):
@@ -75,7 +94,7 @@ class EmbeddingStore:
     than doubling the artifact size.
     """
 
-    matrix: np.ndarray  # (total_rows, dim) float64, possibly a memmap
+    matrix: np.ndarray  # (total_rows, dim) float32/float64, maybe a memmap
     doc_ids: List[int]  # ascending document ids, one per segment
     offsets: List[int]  # segment start row per document
     row_hashes: Dict[int, str]  # doc_id -> triples_fingerprint
@@ -118,10 +137,16 @@ class EmbeddingStore:
                 previous = {}  # corrupt previous manifest: nothing to grace
         previous_data = previous.get("data_file")
         previous_grace = previous.get("grace_file")
-        matrix = np.ascontiguousarray(self.matrix, dtype=_DTYPE)
+        # persist the matrix in its own (policy-chosen) dtype; anything
+        # that is not a supported store dtype is canonicalized to float64,
+        # matching the pre-dtype-policy behaviour
+        dtype = np.dtype(self.matrix.dtype)
+        if dtype.name not in STORE_DTYPES:
+            dtype = F64
+        matrix = np.ascontiguousarray(self.matrix, dtype=dtype)
         raw = matrix.tobytes()
         digest = hashlib.sha256(raw).hexdigest()
-        data_name = f"embeddings-{digest[:16]}.f64"
+        data_name = f"embeddings-{digest[:16]}.{file_suffix(dtype)}"
         atomic_write_bytes(directory / data_name, raw)
         if previous_data == data_name:
             # content unchanged: the outgoing generation IS this one, so
@@ -131,7 +156,7 @@ class EmbeddingStore:
             grace = previous_data
         manifest = {
             "version": STORE_VERSION,
-            "dtype": "float64",
+            "dtype": dtype.name,
             "rows": int(matrix.shape[0]),
             "dim": int(matrix.shape[1]),
             "data_file": data_name,
@@ -147,7 +172,9 @@ class EmbeddingStore:
         # GC generations outside the grace window; done last so a crash
         # before this point leaves the previous generation loadable
         keep = {data_name, grace}
-        for stale in directory.glob("embeddings-*.f64"):
+        # all suffixes: a dtype change mid-history must still collect the
+        # other-dtype generations outside the grace window
+        for stale in directory.glob("embeddings-*"):
             if stale.name not in keep:
                 stale.unlink(missing_ok=True)
         return directory
@@ -186,7 +213,17 @@ class EmbeddingStore:
         except (OSError, json.JSONDecodeError) as error:
             raise EmbeddingStoreError(f"unreadable manifest: {error}") from error
         version = manifest.get("version")
-        if version != STORE_VERSION:
+        if version == LEGACY_STORE_VERSION:
+            # pre-PR-8 stores: no dtype field, data is always float64
+            dtype = F64
+        elif version == STORE_VERSION:
+            try:
+                dtype = dtype_named(str(manifest.get("dtype")))
+            except PrecisionError as error:
+                raise EmbeddingStoreError(
+                    f"malformed manifest: {error}"
+                ) from error
+        else:
             raise EmbeddingStoreError(
                 f"embedding store version {version!r} != {STORE_VERSION}"
             )
@@ -214,14 +251,14 @@ class EmbeddingStore:
             raise _DataFileVanished(
                 f"missing data file {data_file}"
             ) from error
-        expected = rows * dim * _DTYPE().itemsize
+        expected = rows * dim * dtype.itemsize
         if actual != expected:
             # a size mismatch is corruption, not a GC race — don't retry
             raise EmbeddingStoreError(
                 f"data file {data_file} is {actual} bytes, expected {expected}"
             )
         if rows == 0:
-            matrix = np.zeros((0, dim), dtype=_DTYPE)
+            matrix = np.zeros((0, dim), dtype=dtype)
         else:
             try:
                 matrix = _attach_matrix(data_path, rows, dim, mmap)

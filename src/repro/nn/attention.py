@@ -10,6 +10,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.precision import TRAINING_DTYPE
+
 from repro.nn.layers import Dropout, Linear, Module
 from repro.nn.tensor import Tensor
 
@@ -51,7 +53,7 @@ class MultiHeadSelfAttention(Module):
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
         if mask is not None:
             # mask: (B, S) with 1 = attend, 0 = padding
-            bias = (1.0 - np.asarray(mask, dtype=np.float64)) * _NEG_INF
+            bias = (1.0 - np.asarray(mask, dtype=TRAINING_DTYPE)) * _NEG_INF
             scores = scores + Tensor(bias[:, None, None, :])
         attn = scores.softmax(axis=-1)
         attn = self.dropout(attn)

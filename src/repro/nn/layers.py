@@ -6,6 +6,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.precision import TRAINING_DTYPE
+
 from repro.nn.tensor import Tensor
 
 
@@ -150,7 +152,7 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        mask = (self.rng.rand(*x.shape) < keep).astype(np.float64) / keep
+        mask = (self.rng.rand(*x.shape) < keep).astype(TRAINING_DTYPE) / keep
         return x * Tensor(mask)
 
 

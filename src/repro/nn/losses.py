@@ -6,6 +6,8 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.precision import TRAINING_DTYPE
+
 from repro.nn.tensor import Tensor
 
 
@@ -23,7 +25,7 @@ def binary_cross_entropy_with_logits(
     a degenerate optimum (score *everything* as negative), which in a
     shared-encoder bi-encoder shows up as representation collapse.
     """
-    t = np.asarray(targets, dtype=np.float64)
+    t = np.asarray(targets, dtype=TRAINING_DTYPE)
     x = logits
     relu_x = x.relu()
     abs_x = (x * x).pow(0.5)
@@ -47,7 +49,7 @@ def cross_entropy(
     n = target_ids.shape[0]
     weights = np.ones(n)
     if ignore_index is not None:
-        weights = (target_ids != ignore_index).astype(np.float64)
+        weights = (target_ids != ignore_index).astype(TRAINING_DTYPE)
         target_ids = np.where(target_ids == ignore_index, 0, target_ids)
     picked = log_probs[np.arange(n), target_ids]
     total = (picked * Tensor(-weights)).sum()

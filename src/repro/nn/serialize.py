@@ -7,6 +7,8 @@ from typing import Union
 
 import numpy as np
 
+from repro.precision import TRAINING_DTYPE
+
 from repro.nn.layers import Module
 from repro.storage.atomic import atomic_write_npz
 
@@ -33,4 +35,4 @@ def load_weights(module: Module, path: Union[str, Path]) -> None:
                 f"shape mismatch for {name!r}: file {data.shape}, "
                 f"module {tensor.data.shape}"
             )
-        tensor.data = data.astype(np.float64)
+        tensor.data = data.astype(TRAINING_DTYPE)

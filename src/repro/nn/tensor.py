@@ -17,13 +17,15 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 from scipy.special import erf as _erf
 
+from repro.precision import TRAINING_DTYPE
+
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, np.ndarray):
-        return value.astype(np.float64, copy=False)
-    return np.asarray(value, dtype=np.float64)
+        return value.astype(TRAINING_DTYPE, copy=False)
+    return np.asarray(value, dtype=TRAINING_DTYPE)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -286,7 +288,7 @@ class Tensor:
         """Maximum along one axis; gradient flows to the argmax elements."""
         out_data = self.data.max(axis=axis, keepdims=keepdims)
         expanded = out_data if keepdims else np.expand_dims(out_data, axis)
-        mask = (self.data == expanded).astype(np.float64)
+        mask = (self.data == expanded).astype(TRAINING_DTYPE)
         # split gradient across ties for determinism
         mask /= mask.sum(axis=axis, keepdims=True)
 

@@ -12,6 +12,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.precision import TRAINING_DTYPE
+
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module
 from repro.nn.tensor import Tensor
@@ -119,7 +121,7 @@ class TransformerEncoder(Module):
                 f"sequence length {ids.shape[1]} exceeds max_len {self.max_len}"
             )
         if mask is None:
-            mask = (ids != self.pad_id).astype(np.float64)
+            mask = (ids != self.pad_id).astype(TRAINING_DTYPE)
         positions = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
         x = self.token_embedding(ids) + self.position_embedding(positions)
         x = self.embed_dropout(x)

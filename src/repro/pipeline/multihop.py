@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.oie.triple import Triple
+from repro.precision import PrecisionLike
 from repro.retriever.single import RetrievedDocument, SingleRetriever
 from repro.retriever.strategies import l2_normalize_rows
 from repro.updater.question import compose_updated_question
@@ -108,6 +109,7 @@ class MultiHopRetriever:
         question: str,
         k_paths: Optional[int] = None,
         nprobe: Optional[int] = None,
+        precision: PrecisionLike = None,
     ) -> List[DocumentPath]:
         """Top-k document paths for ``question`` (Eq. 8 scoring).
 
@@ -118,7 +120,7 @@ class MultiHopRetriever:
         batch of one — see :meth:`retrieve_paths_batch`.
         """
         return self.retrieve_paths_batch(
-            [question], k_paths=k_paths, nprobe=nprobe
+            [question], k_paths=k_paths, nprobe=nprobe, precision=precision
         )[0]
 
     def retrieve_paths_batch(
@@ -126,6 +128,7 @@ class MultiHopRetriever:
         questions: Sequence[str],
         k_paths: Optional[int] = None,
         nprobe: Optional[int] = None,
+        precision: PrecisionLike = None,
     ) -> List[List[DocumentPath]]:
         """Path retrieval for many questions with batch-amortized stages.
 
@@ -137,8 +140,9 @@ class MultiHopRetriever:
         :meth:`retrieve_paths` up to encoder batch-padding float jitter
         (~1e-16); with a batch-invariant encoder they are exact.
 
-        ``nprobe`` is forwarded to both hops' ``retrieve_batch`` calls
-        when the underlying retriever has an active shard plan.
+        ``nprobe`` and ``precision`` are forwarded to both hops'
+        ``retrieve_batch`` calls, so a quantized policy prunes *both*
+        hops' matmuls.
         """
         cfg = self.config
         if k_paths is None:
@@ -150,7 +154,7 @@ class MultiHopRetriever:
             return [[] for _ in questions]
         question_matrix = self.retriever.encode_questions(questions)
         hop1_lists = self.retriever.retrieve_batch(
-            question_matrix, k=cfg.k_hop1, nprobe=nprobe
+            question_matrix, k=cfg.k_hop1, nprobe=nprobe, precision=precision
         )
         # select every (question, hop-1 candidate) clue first so all clue
         # texts across the whole batch encode as one encoder pass
@@ -201,7 +205,10 @@ class MultiHopRetriever:
         # one Q×T matmul covers every question's every second hop
         hop2_lists = (
             self.retriever.retrieve_batch(
-                hop2_matrix, k=cfg.k_hop2 + 1, nprobe=nprobe
+                hop2_matrix,
+                k=cfg.k_hop2 + 1,
+                nprobe=nprobe,
+                precision=precision,
             )
             if cursor
             else []

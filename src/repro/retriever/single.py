@@ -36,6 +36,12 @@ from repro.ingest.embedding_store import EmbeddingStore
 from repro.ingest.fingerprint import encoder_fingerprint, triples_fingerprint
 from repro.oie.triple import Triple
 from repro.perf import COUNTERS, time_block
+from repro.precision import (
+    Precision,
+    PrecisionLike,
+    cast_matrix,
+    resolve,
+)
 from repro.retriever.store import TripleStore
 from repro.retriever.strategies import (
     ONE_FACT,
@@ -77,10 +83,20 @@ class SingleRetriever:
         encoder: MiniBertEncoder,
         store: TripleStore,
         strategy: Optional[ScoreStrategy] = None,
+        precision: PrecisionLike = None,
     ):
         self.encoder = encoder
         self.store = store
         self.strategy = strategy or ScoreStrategy(ONE_FACT)
+        # dtype policy of every matrix this retriever holds; inherited
+        # from the encoder when not given so an exact-parity (float64)
+        # encoder yields an exact-parity retriever without repetition
+        # (duck-typed: stub encoders without a policy get the default)
+        self.precision = (
+            resolve(getattr(encoder, "precision", None))
+            if precision is None
+            else resolve(precision)
+        )
         self._embeddings: Dict[int, np.ndarray] = {}
         self._stacked: Optional[np.ndarray] = None
         self._normed: Optional[np.ndarray] = None
@@ -140,12 +156,15 @@ class SingleRetriever:
                     plan.append((doc_id, len(flattened), row_hash, None))
                     dirty_texts.extend(flattened)
             if dirty_texts:
-                encoded = self.encoder.encode_numpy(
-                    dirty_texts, batch_size=batch_size
+                encoded = cast_matrix(
+                    self.encoder.encode_numpy(
+                        dirty_texts, batch_size=batch_size
+                    ),
+                    self.precision.dtype,
                 )
                 COUNTERS.record_encode(len(dirty_texts))
             else:
-                encoded = np.zeros((0, dim))
+                encoded = np.zeros((0, dim), dtype=self.precision.dtype)
             attached = self._attached
             if (
                 not dirty_texts
@@ -168,7 +187,7 @@ class SingleRetriever:
                 matrix = (
                     np.concatenate(pieces)
                     if pieces
-                    else np.zeros((0, dim))
+                    else np.zeros((0, dim), dtype=self.precision.dtype)
                 )
             self._embeddings = {}
             self._doc_order = []
@@ -208,6 +227,11 @@ class SingleRetriever:
         self.detach_embeddings()
         matrix = embeddings.matrix
         if matrix.ndim != 2 or matrix.shape[1] != self.encoder.config.dim:
+            return 0
+        if np.dtype(matrix.dtype) != self.precision.dtype:
+            # a store persisted under another precision policy (e.g. a
+            # legacy float64 store on a float32 retriever) must not leak
+            # its dtype into scoring — reject and let refresh re-encode
             return 0
         if len(embeddings.doc_ids) != len(embeddings.offsets):
             return 0
@@ -250,7 +274,9 @@ class SingleRetriever:
         """Snapshot the current stacked matrix as a persistable store."""
         self._ensure_fresh()
         return EmbeddingStore(
-            matrix=np.ascontiguousarray(self._stacked, dtype=np.float64),
+            matrix=np.ascontiguousarray(
+                self._stacked, dtype=self.precision.dtype
+            ),
             doc_ids=[int(d) for d in self._doc_order],
             offsets=[int(o) for o in self._offsets],
             row_hashes=dict(self._row_hashes),
@@ -275,17 +301,21 @@ class SingleRetriever:
         return self._shard_plan
 
     def build_shards(
-        self, n_shards: int, mode: str = "range"
+        self, n_shards: int, mode: str = "range", quantize: bool = False
     ) -> ShardPlan:
         """Split the scoring matrix into ``n_shards`` with centroid pruning.
 
         Subsequent :meth:`retrieve_batch` calls route through the plan
         (per-shard matmuls + exact global merge) and accept ``nprobe``.
         The plan is rebuilt automatically on every embedding refresh.
+        ``quantize`` (implied when the retriever's precision policy is
+        int8-rescore) derives the int8 shard copies that quantized
+        requests score coarsely.
         """
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
-        self._shard_spec = (int(n_shards), mode)
+        quantize = bool(quantize) or self.precision.quantized
+        self._shard_spec = (int(n_shards), mode, quantize)
         self._shard_assignment = None
         self._shard_plan = None
         self._ensure_fresh()
@@ -304,7 +334,11 @@ class SingleRetriever:
         """
         total = self.attach_embeddings(sharded.combined())
         if total or sharded.total_rows == 0:
-            self._shard_spec = (sharded.n_shards, sharded.mode)
+            self._shard_spec = (
+                sharded.n_shards,
+                sharded.mode,
+                sharded.quantized or self.precision.quantized,
+            )
             self._shard_assignment = sharded.assignment()
             self._shard_plan = None
         return total
@@ -316,7 +350,7 @@ class SingleRetriever:
         self._shard_plan = None
 
     def _rebuild_shard_plan(self) -> None:
-        n_shards, mode = self._shard_spec
+        n_shards, mode, quantize = self._shard_spec
         self._shard_plan = ShardPlan.build(
             self._normed,
             self._doc_order,
@@ -324,6 +358,7 @@ class SingleRetriever:
             n_shards,
             mode=mode,
             assignment=self._shard_assignment,
+            quantize=quantize,
         )
         self._shard_assignment = self._shard_plan.assignment
 
@@ -331,21 +366,30 @@ class SingleRetriever:
         """The cached triple embedding matrix of one document."""
         self._ensure_fresh()
         return self._embeddings.get(
-            doc_id, np.zeros((0, self.encoder.config.dim))
+            doc_id,
+            np.zeros(
+                (0, self.encoder.config.dim), dtype=self.precision.dtype
+            ),
         )
 
     # -- retrieval ----------------------------------------------------------
     def encode_question(self, question: str) -> np.ndarray:
         """The question's [CLS] embedding as a numpy vector."""
         COUNTERS.record_encode(1)
-        return self.encoder.encode_numpy([question])[0]
+        return cast_matrix(
+            self.encoder.encode_numpy([question])[0], self.precision.dtype
+        )
 
     def encode_questions(self, questions: Sequence[str]) -> np.ndarray:
         """Batch of question embeddings, one encoder pass."""
         if not questions:
-            return np.zeros((0, self.encoder.config.dim))
+            return np.zeros(
+                (0, self.encoder.config.dim), dtype=self.precision.dtype
+            )
         COUNTERS.record_encode(len(questions))
-        return self.encoder.encode_numpy(list(questions))
+        return cast_matrix(
+            self.encoder.encode_numpy(list(questions)), self.precision.dtype
+        )
 
     def triple_scores(self, query_vec: np.ndarray, doc_id: int) -> np.ndarray:
         """Cosine of one query against one document's triples (fast path)."""
@@ -359,7 +403,7 @@ class SingleRetriever:
             if position + 1 < len(self._offsets)
             else self._normed.shape[0]
         )
-        query_vec = np.asarray(query_vec, dtype=np.float64)
+        query_vec = cast_matrix(query_vec, self.precision.dtype)
         norm = np.linalg.norm(query_vec)
         if norm:
             query_vec = query_vec / norm
@@ -373,6 +417,7 @@ class SingleRetriever:
         candidate_ids: Optional[Sequence[int]] = None,
         keep_triple_scores: bool = False,
         nprobe: Optional[int] = None,
+        precision: PrecisionLike = None,
     ) -> List[RetrievedDocument]:
         """Top-k documents for ``question`` with matched-triple explanations.
 
@@ -380,6 +425,8 @@ class SingleRetriever:
         and by the multi-hop pipeline's second hop). ``nprobe`` limits
         sharded scoring to that many closest shards (requires
         :meth:`build_shards` / :meth:`attach_sharded`; None = no pruning).
+        ``precision`` overrides the retriever's policy per request — see
+        :meth:`retrieve_batch`.
         """
         self._ensure_fresh()
         strategy = strategy or self.strategy
@@ -391,6 +438,7 @@ class SingleRetriever:
             candidate_ids=candidate_ids,
             keep_triple_scores=keep_triple_scores,
             nprobe=nprobe,
+            precision=precision,
         )
 
     def retrieve_by_vector(
@@ -401,6 +449,7 @@ class SingleRetriever:
         candidate_ids: Optional[Sequence[int]] = None,
         keep_triple_scores: bool = False,
         nprobe: Optional[int] = None,
+        precision: PrecisionLike = None,
     ) -> List[RetrievedDocument]:
         """Same as :meth:`retrieve` for an already-encoded question."""
         return self.retrieve_batch(
@@ -410,6 +459,7 @@ class SingleRetriever:
             candidate_ids=candidate_ids,
             keep_triple_scores=keep_triple_scores,
             nprobe=nprobe,
+            precision=precision,
         )[0]
 
     def retrieve_many(
@@ -420,6 +470,7 @@ class SingleRetriever:
         candidate_ids: Optional[Sequence[int]] = None,
         keep_triple_scores: bool = False,
         nprobe: Optional[int] = None,
+        precision: PrecisionLike = None,
     ) -> List[List[RetrievedDocument]]:
         """Top-k documents for a batch of question *texts*.
 
@@ -437,6 +488,7 @@ class SingleRetriever:
             candidate_ids=candidate_ids,
             keep_triple_scores=keep_triple_scores,
             nprobe=nprobe,
+            precision=precision,
         )
 
     def retrieve_batch(
@@ -447,6 +499,7 @@ class SingleRetriever:
         candidate_ids: Optional[Sequence[int]] = None,
         keep_triple_scores: bool = False,
         nprobe: Optional[int] = None,
+        precision: PrecisionLike = None,
     ) -> List[List[RetrievedDocument]]:
         """Top-k documents for every row of ``query_matrix`` at once.
 
@@ -460,18 +513,44 @@ class SingleRetriever:
         (None or ``>= n_shards`` probes everything, which is provably
         identical to the unsharded path). ``candidate_ids`` always scores
         exactly, so ``nprobe`` is ignored there.
+
+        ``precision`` overrides the retriever policy per request. A float
+        request must match the dtype the matrices are held in — a
+        mixed-precision retriever never silently serves an exact-mode
+        request. ``int8-rescore`` requests need an active shard plan
+        (whose int8 copy is derived on first use); with ``candidate_ids``
+        they fall back to exact scoring of the (already tiny) candidate
+        set.
         """
         self._ensure_fresh()
         strategy = strategy or self.strategy
-        queries = np.atleast_2d(np.asarray(query_matrix, dtype=np.float64))
+        requested = (
+            self.precision if precision is None else resolve(precision)
+        )
+        if not requested.quantized and (
+            requested.dtype != self.precision.dtype
+        ):
+            raise ValueError(
+                f"retriever holds {self.precision.dtype.name} matrices; "
+                f"cannot serve a {requested.mode} request exactly"
+            )
+        queries = np.atleast_2d(
+            cast_matrix(query_matrix, self.precision.dtype)
+        )
         if nprobe is not None and self._shard_plan is None:
             raise ValueError(
                 "nprobe requires an active shard plan; call "
                 "build_shards() or attach_sharded() first"
             )
+        if requested.quantized and candidate_ids is None:
+            if self._shard_plan is None:
+                raise ValueError(
+                    "int8-rescore requires an active shard plan; call "
+                    "build_shards() or attach_sharded() first"
+                )
         if self._shard_plan is not None and candidate_ids is None:
             return self._retrieve_batch_sharded(
-                queries, k, strategy, nprobe, keep_triple_scores
+                queries, k, strategy, nprobe, keep_triple_scores, requested
             )
         doc_ids, offsets, gather = self._candidate_layout(candidate_ids)
         if queries.shape[0] == 0 or doc_ids.size == 0 or k <= 0:
@@ -503,6 +582,7 @@ class SingleRetriever:
         strategy: ScoreStrategy,
         nprobe: Optional[int],
         keep_triple_scores: bool,
+        precision: Precision,
     ) -> List[List[RetrievedDocument]]:
         """Shard-routed scoring: probe, per-shard matmuls, global merge."""
         plan = self._shard_plan
@@ -511,7 +591,19 @@ class SingleRetriever:
             return [[] for _ in range(n_queries)]
         queries_normed = l2_normalize_rows(queries)
         with time_block() as elapsed:
-            scored = plan.search(queries_normed, strategy, nprobe)
+            if precision.quantized:
+                if not plan.quantized:
+                    # deterministic and cheap relative to plan builds, so
+                    # a first quantized request may derive the int8 copy
+                    plan.quantize()
+                scored = plan.search_quantized(
+                    queries_normed,
+                    strategy,
+                    max(int(precision.rescore_width), int(k)),
+                    nprobe,
+                )
+            else:
+                scored = plan.search(queries_normed, strategy, nprobe)
         COUNTERS.record_scoring(
             n_queries=n_queries,
             n_docs=max(

@@ -14,6 +14,8 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from repro.precision import ACCUM_DTYPE
+
 ONE_FACT = "one_fact"
 TOP_K = "top_k"
 MEAN = "mean"
@@ -74,10 +76,12 @@ def aggregate_segments(
     Built on ``np.maximum.reduceat`` / ``np.add.reduceat``: one ufunc pass
     per corpus instead of one Python iteration per document.
     """
-    scores = np.asarray(scores, dtype=np.float64)
+    # scores accumulate in float64 regardless of the store dtype: every
+    # float32 is exactly representable, so reductions stay bitwise stable
+    scores = np.asarray(scores, dtype=ACCUM_DTYPE)
     offsets = np.asarray(offsets, dtype=np.int64)
     n_segments = offsets.shape[0]
-    aggregated = np.full(n_segments, EMPTY_SCORE, dtype=np.float64)
+    aggregated = np.full(n_segments, EMPTY_SCORE, dtype=ACCUM_DTYPE)
     matched = np.full(n_segments, -1, dtype=np.int64)
     if n_segments == 0:
         return aggregated, matched
@@ -124,16 +128,24 @@ def l2_normalize_rows(matrix: np.ndarray) -> np.ndarray:
     The one normalization helper cosine-score matmuls must route through
     (enforced by the ``unnormalized-matmul`` lint rule): dividing by
     ``max(norm, tiny)`` keeps zero rows at exactly zero without branching.
+
+    Dtype-preserving: a float32 matrix normalizes in float32 (the
+    precision policy decides the dtype upstream, at the encoder/store
+    boundary); non-float inputs are promoted to the accumulator dtype.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = np.asarray(matrix)
+    if not np.issubdtype(matrix.dtype, np.floating):
+        matrix = matrix.astype(ACCUM_DTYPE)
     norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-    np.maximum(norms, np.finfo(np.float64).tiny, out=norms)
+    np.maximum(norms, np.finfo(matrix.dtype).tiny, out=norms)
     return matrix / norms
 
 
 def l2_normalize_vec(vec: np.ndarray) -> np.ndarray:
     """L2-normalized copy of one vector; the zero vector stays zero."""
-    vec = np.asarray(vec, dtype=np.float64)
+    vec = np.asarray(vec)
+    if not np.issubdtype(vec.dtype, np.floating):
+        vec = vec.astype(ACCUM_DTYPE)
     norm = float(np.linalg.norm(vec))
     if norm == 0.0:
         return vec.copy()

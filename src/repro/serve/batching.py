@@ -15,7 +15,8 @@ wait, which bounds queue latency instead of letting it grow without
 limit. Batches are homogeneous: only requests with the same
 :attr:`PendingRequest.batch_key` (mode, k, nprobe) coalesce, so one
 underlying
-bulk call serves every member.
+bulk call serves every member. The key includes the request's precision
+mode, so quantized and exact requests never share a batch.
 """
 
 from __future__ import annotations
@@ -43,6 +44,7 @@ class PendingRequest:
         "mode",
         "k",
         "nprobe",
+        "precision",
         "cache_key",
         "deadline",
         "submitted_at",
@@ -59,11 +61,13 @@ class PendingRequest:
         cache_key: Any,
         deadline: Optional[float],
         nprobe: Optional[int] = None,
+        precision: Optional[str] = None,
     ):
         self.question = question
         self.mode = mode
         self.k = k
         self.nprobe = nprobe
+        self.precision = precision
         self.cache_key = cache_key
         self.deadline = deadline
         self.submitted_at = time.perf_counter()
@@ -72,9 +76,10 @@ class PendingRequest:
         self._error: Optional[BaseException] = None
 
     @property
-    def batch_key(self) -> Tuple[str, int, Optional[int]]:
-        """Requests coalesce only with the same (mode, k, nprobe) shape."""
-        return (self.mode, self.k, self.nprobe)
+    def batch_key(self) -> Tuple[str, int, Optional[int], Optional[str]]:
+        """Requests coalesce only with the same
+        (mode, k, nprobe, precision) shape."""
+        return (self.mode, self.k, self.nprobe, self.precision)
 
     def complete(self, result: Any) -> None:
         self._result = result
@@ -169,7 +174,7 @@ class BatchQueue:
             return batch
 
     def _take_compatible(
-        self, key: Tuple[str, int, Optional[int]]
+        self, key: Tuple[str, int, Optional[int], Optional[str]]
     ) -> Optional[PendingRequest]:
         """Pop the oldest queued request with ``batch_key == key``."""
         for index, item in enumerate(self._items):

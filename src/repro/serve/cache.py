@@ -36,15 +36,24 @@ _SWEEP_LIMIT = 8
 
 
 def query_cache_key(
-    question: str, mode: str, k: int, nprobe: Optional[int] = None
-) -> Tuple[str, int, Optional[int], str]:
-    """The cache key of one request: (mode, k, nprobe, normalized question).
+    question: str,
+    mode: str,
+    k: int,
+    nprobe: Optional[int] = None,
+    precision: Optional[str] = None,
+) -> Tuple[str, int, Optional[int], Optional[str], str]:
+    """The cache key of one request:
+    (mode, k, nprobe, precision, normalized question).
 
     ``nprobe`` participates because pruned sharded retrieval is a
     *different* pure function of the query than exact retrieval — results
     under ``nprobe=2`` must never be served to an ``nprobe=None`` caller.
+    ``precision`` participates for the same reason: an int8-rescore
+    answer must never be served to an exact-mode request (and vice
+    versa). Pass :meth:`repro.precision.Precision.key` — it includes the
+    rescore width, which changes quantized top-k.
     """
-    return (mode, int(k), nprobe, normalize(question))
+    return (mode, int(k), nprobe, precision, normalize(question))
 
 
 @dataclass

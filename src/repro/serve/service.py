@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.pipeline.multihop import MultiHopRetriever
+from repro.precision import PrecisionLike, parse_key, resolve
 from repro.retriever.single import SingleRetriever
 from repro.serve.batching import BatchQueue, PendingRequest
 from repro.serve.cache import MISS, ResultCache, query_cache_key
@@ -62,6 +63,10 @@ class ServiceConfig:
     # shards probed per request when the retriever has an active shard
     # plan; None = no pruning (provably exact). Overridable per request.
     default_nprobe: Optional[int] = None
+    # precision policy applied to requests that don't name one; None
+    # defers to the retriever's own policy. Part of the cache AND batch
+    # keys, so quantized answers never serve an exact-mode request.
+    default_precision: Optional[str] = None
     latency_reservoir: int = 65536  # latency samples kept for percentiles
     # build the retriever's scoring matrices inside start() instead of on
     # the first request's worker thread — a warm-started (attached)
@@ -179,6 +184,7 @@ class RetrievalService:
         mode: str = "single",
         deadline_s: Optional[float] = None,
         nprobe: Optional[int] = None,
+        precision: PrecisionLike = None,
     ) -> PendingRequest:
         """Enqueue one request and return its future immediately.
 
@@ -187,7 +193,9 @@ class RetrievalService:
         hit completes the returned request synchronously. ``nprobe``
         (default :attr:`ServiceConfig.default_nprobe`) prunes sharded
         scoring to that many shards; it is part of both the cache key and
-        the batch key, so pruned and exact requests never mix.
+        the batch key, so pruned and exact requests never mix — and so is
+        ``precision`` (default :attr:`ServiceConfig.default_precision`),
+        so quantized answers never serve exact-mode callers.
         """
         cfg = self.config
         if mode not in MODES:
@@ -205,12 +213,28 @@ class RetrievalService:
             deadline_s if deadline_s is not None else cfg.default_deadline_s
         )
         nprobe = nprobe if nprobe is not None else cfg.default_nprobe
-        cache_key = query_cache_key(question, mode, k, nprobe)
+        precision = (
+            precision if precision is not None else cfg.default_precision
+        )
+        # the canonical key string (mode[:rescore_width]) — validated here
+        # at the front door so malformed precisions fail at submit time
+        precision_key = (
+            None if precision is None else resolve(precision).key()
+        )
+        cache_key = query_cache_key(
+            question, mode, k, nprobe, precision_key
+        )
         deadline = (
             None if deadline_s is None else self._clock() + deadline_s
         )
         request = PendingRequest(
-            question, mode, k, cache_key, deadline, nprobe=nprobe
+            question,
+            mode,
+            k,
+            cache_key,
+            deadline,
+            nprobe=nprobe,
+            precision=precision_key,
         )
         self.stats.record_submitted()
         cached = self._cache.get(cache_key)
@@ -232,11 +256,12 @@ class RetrievalService:
         deadline_s: Optional[float] = None,
         timeout: Optional[float] = None,
         nprobe: Optional[int] = None,
+        precision: PrecisionLike = None,
     ) -> Any:
         """Blocking single-hop retrieval (submit + wait)."""
         return self.submit(
             question, k=k, mode="single", deadline_s=deadline_s,
-            nprobe=nprobe,
+            nprobe=nprobe, precision=precision,
         ).result(timeout)
 
     def retrieve_paths(
@@ -246,11 +271,12 @@ class RetrievalService:
         deadline_s: Optional[float] = None,
         timeout: Optional[float] = None,
         nprobe: Optional[int] = None,
+        precision: PrecisionLike = None,
     ) -> Any:
         """Blocking multi-hop path retrieval (submit + wait)."""
         return self.submit(
             question, k=k, mode="paths", deadline_s=deadline_s,
-            nprobe=nprobe,
+            nprobe=nprobe, precision=precision,
         ).result(timeout)
 
     # -- observability ---------------------------------------------------
@@ -299,10 +325,14 @@ class RetrievalService:
             if request.cache_key not in row_of:
                 row_of[request.cache_key] = len(questions)
                 questions.append(request.question)
-        mode, k, nprobe = live[0].batch_key
-        # pass nprobe only when set so duck-typed retrievers that predate
-        # sharding keep working unchanged
-        extra = {} if nprobe is None else {"nprobe": nprobe}
+        mode, k, nprobe, precision_key = live[0].batch_key
+        # pass nprobe/precision only when set so duck-typed retrievers
+        # that predate those options keep working unchanged
+        extra: Dict[str, Any] = {}
+        if nprobe is not None:
+            extra["nprobe"] = nprobe
+        if precision_key is not None:
+            extra["precision"] = parse_key(precision_key)
         try:
             if mode == "single":
                 results = self.retriever.retrieve_many(

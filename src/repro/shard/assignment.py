@@ -23,6 +23,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.precision import ACCUM_DTYPE
 from repro.retriever.strategies import l2_normalize_rows
 
 MODES = ("range", "centroid")
@@ -36,11 +37,14 @@ def segment_means(
     matrix: np.ndarray, offsets: np.ndarray
 ) -> np.ndarray:
     """Per-document mean of embedding rows (zero rows for empty docs)."""
-    matrix = np.asarray(matrix, dtype=np.float64)
+    # assignment math always accumulates in the (float64) accumulator
+    # dtype regardless of the store dtype: shard labels must not change
+    # when the precision policy does
+    matrix = np.asarray(matrix, dtype=ACCUM_DTYPE)
     offsets = np.asarray(offsets, dtype=np.int64)
     n_docs = offsets.shape[0]
     dim = matrix.shape[1] if matrix.ndim == 2 else 0
-    means = np.zeros((n_docs, dim), dtype=np.float64)
+    means = np.zeros((n_docs, dim), dtype=ACCUM_DTYPE)
     if n_docs == 0 or matrix.shape[0] == 0:
         return means
     stops = np.concatenate([offsets[1:], [matrix.shape[0]]])
@@ -80,17 +84,17 @@ def assign_centroid(
     """
     if n_shards <= 0:
         raise ValueError("n_shards must be positive")
-    vectors = l2_normalize_rows(np.asarray(doc_vectors, dtype=np.float64))
+    vectors = l2_normalize_rows(np.asarray(doc_vectors, dtype=ACCUM_DTYPE))
     n_docs = vectors.shape[0]
     if n_docs == 0:
         return (
             np.zeros(0, dtype=np.int64),
-            np.zeros((n_shards, doc_vectors.shape[1]), dtype=np.float64),
+            np.zeros((n_shards, doc_vectors.shape[1]), dtype=ACCUM_DTYPE),
         )
     seeds = np.linspace(0, n_docs - 1, min(n_shards, n_docs)).astype(
         np.int64
     )
-    centroids = np.zeros((n_shards, vectors.shape[1]), dtype=np.float64)
+    centroids = np.zeros((n_shards, vectors.shape[1]), dtype=ACCUM_DTYPE)
     centroids[: seeds.shape[0]] = vectors[seeds]
     labels = np.zeros(n_docs, dtype=np.int64)
     for _ in range(_KMEANS_ITERATIONS):

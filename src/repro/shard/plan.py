@@ -15,6 +15,17 @@ retrieval is therefore *provably byte-identical* to exact top-k; with
 ``nprobe < n_shards`` it trades recall for a proportional cut in matmul
 work. The 1/2/4-shard parity tests pin the first property, the
 recall-monotonicity property tests the second.
+
+A plan built with ``quantize=True`` additionally carries a symmetric
+per-row int8 copy of every shard matrix (one float32 scale per row —
+8x smaller than float64, what makes millions of docs fit in RAM).
+:meth:`ShardPlan.search_quantized` scores the int8 copy *coarsely*,
+keeps the top ``rescore_width`` documents per query under the same
+``(score desc, doc id asc)`` total order, then rescores exactly those
+documents' float rows. Because the survivor set is a prefix of the
+coarse total order, widening ``rescore_width`` can only add documents —
+recall@k is monotone in the rescore width, and equals exact recall once
+every true top-k document survives the coarse cut.
 """
 
 from __future__ import annotations
@@ -24,6 +35,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.precision import (
+    ACCUM_DTYPE,
+    coarse_scores,
+    ensure_float,
+    quantize_rows,
+)
 from repro.retriever.strategies import (
     ScoreStrategy,
     aggregate_segments,
@@ -33,6 +50,7 @@ from repro.shard.assignment import (
     assign_documents,
     segment_means,
 )
+from repro.shard.merge import topk_doc_order
 
 
 @dataclass
@@ -44,10 +62,16 @@ class Shard:
     offsets: np.ndarray  # (n_docs,) int64 shard-local segment starts
     matrix: np.ndarray  # (n_rows, dim) L2-normalized triple rows
     centroid: np.ndarray  # (dim,) unit centroid (zero when empty)
+    q_matrix: Optional[np.ndarray] = None  # (n_rows, dim) int8 rows
+    q_scales: Optional[np.ndarray] = None  # (n_rows,) float32 row scales
 
     @property
     def n_rows(self) -> int:
         return int(self.matrix.shape[0])
+
+    @property
+    def quantized(self) -> bool:
+        return self.q_matrix is not None
 
     def __len__(self) -> int:
         return int(self.doc_ids.shape[0])
@@ -73,7 +97,7 @@ class QueryShardScores:
 
     def __init__(self) -> None:
         self.doc_ids = np.zeros(0, dtype=np.int64)
-        self.scores = np.zeros(0, dtype=np.float64)
+        self.scores = np.zeros(0, dtype=ACCUM_DTYPE)
         self.matched = np.zeros(0, dtype=np.int64)
         self.n_triples = 0
         self._bounds: List[int] = [0]
@@ -113,6 +137,51 @@ class QueryShardScores:
         return flat[start:stop].copy()
 
 
+class QueryDocScores:
+    """One query's quantized-search result, merge-compatible with
+    :class:`QueryShardScores`.
+
+    Holds only the documents that survived the coarse int8 cut, with
+    their *exact* rescored aggregates; :meth:`triple_scores` recovers
+    the exact flat per-triple scores of one surviving document.
+    """
+
+    __slots__ = (
+        "doc_ids",
+        "scores",
+        "matched",
+        "n_triples",
+        "_flat",
+        "_offsets",
+    )
+
+    def __init__(
+        self,
+        doc_ids: np.ndarray,
+        scores: np.ndarray,
+        matched: np.ndarray,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+    ) -> None:
+        self.doc_ids = doc_ids
+        self.scores = scores
+        self.matched = matched
+        self.n_triples = int(flat.shape[0])
+        self._flat = flat
+        self._offsets = offsets
+
+    def triple_scores(self, position: int) -> np.ndarray:
+        """Exact flat triple scores of the document at ``position``."""
+        offsets = self._offsets
+        start = int(offsets[position])
+        stop = (
+            int(offsets[position + 1])
+            if position + 1 < offsets.shape[0]
+            else self._flat.shape[0]
+        )
+        return self._flat[start:stop].copy()
+
+
 class ShardPlan:
     """N shards over one stacked matrix + the centroid pruning layer."""
 
@@ -121,14 +190,16 @@ class ShardPlan:
         shards: List[Shard],
         mode: str,
         assignment: Dict[int, int],
+        quantized: bool = False,
     ):
         self.shards = shards
         self.mode = mode
         self.assignment = assignment  # doc_id -> shard_id
+        self.quantized = quantized
         self.centroids = (
             np.stack([s.centroid for s in shards])
             if shards
-            else np.zeros((0, 0), dtype=np.float64)
+            else np.zeros((0, 0), dtype=ACCUM_DTYPE)
         )
 
     @property
@@ -153,6 +224,7 @@ class ShardPlan:
         n_shards: int,
         mode: str = "range",
         assignment: Optional[Dict[int, int]] = None,
+        quantize: bool = False,
     ) -> "ShardPlan":
         """Split a stacked normalized matrix into a scoring plan.
 
@@ -160,7 +232,8 @@ class ShardPlan:
         :class:`~repro.ingest.embedding_store.EmbeddingStore` does. An
         explicit ``assignment`` (doc_id -> shard_id, e.g. from a persisted
         sharded manifest) wins over recomputing one; it must cover every
-        document.
+        document. ``quantize`` additionally derives the per-shard int8
+        copies that :meth:`search_quantized` scores.
         """
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
@@ -168,7 +241,9 @@ class ShardPlan:
             raise ValueError(
                 f"unknown shard mode {mode!r} (expected {MODES})"
             )
-        normed_matrix = np.asarray(normed_matrix, dtype=np.float64)
+        # dtype-preserving: the precision policy chose the matrix dtype
+        # upstream; sharding must not silently widen a float32 corpus
+        normed_matrix = ensure_float(normed_matrix)
         doc_id_arr = np.asarray(list(doc_ids), dtype=np.int64)
         offset_arr = np.asarray(list(offsets), dtype=np.int64)
         n_docs = doc_id_arr.shape[0]
@@ -204,8 +279,8 @@ class ShardPlan:
                         shard_id=shard_id,
                         doc_ids=np.zeros(0, dtype=np.int64),
                         offsets=np.zeros(0, dtype=np.int64),
-                        matrix=np.zeros((0, dim), dtype=np.float64),
-                        centroid=np.zeros(dim, dtype=np.float64),
+                        matrix=np.zeros((0, dim), dtype=normed_matrix.dtype),
+                        centroid=np.zeros(dim, dtype=normed_matrix.dtype),
                     )
                 )
                 continue
@@ -227,14 +302,19 @@ class ShardPlan:
                 matrix = (
                     np.concatenate(pieces)
                     if pieces
-                    else np.zeros((0, normed_matrix.shape[1]))
+                    else np.zeros(
+                        (0, normed_matrix.shape[1]),
+                        dtype=normed_matrix.dtype,
+                    )
                 )
             if matrix.shape[0]:
                 mean = np.asarray(matrix).mean(axis=0)
                 norm = np.linalg.norm(mean)
                 centroid = mean / norm if norm > 0.0 else mean
             else:
-                centroid = np.zeros(normed_matrix.shape[1], dtype=np.float64)
+                centroid = np.zeros(
+                    normed_matrix.shape[1], dtype=normed_matrix.dtype
+                )
             shards.append(
                 Shard(
                     shard_id=shard_id,
@@ -247,7 +327,24 @@ class ShardPlan:
         mapping = {
             int(doc_id_arr[i]): int(labels[i]) for i in range(n_docs)
         }
-        return cls(shards=shards, mode=mode, assignment=mapping)
+        plan = cls(shards=shards, mode=mode, assignment=mapping)
+        if quantize:
+            plan.quantize()
+        return plan
+
+    def quantize(self) -> "ShardPlan":
+        """Derive the int8 copy of every shard matrix (idempotent).
+
+        Quantization is deterministic — re-quantizing the same float rows
+        yields byte-identical int8/scale arrays — so a plan rebuilt from
+        a persisted store and one carrying the store's persisted sidecar
+        score identically.
+        """
+        for shard in self.shards:
+            if shard.q_matrix is None:
+                shard.q_matrix, shard.q_scales = quantize_rows(shard.matrix)
+        self.quantized = True
+        return self
 
     # -- query path ------------------------------------------------------
     def probe(
@@ -286,9 +383,7 @@ class ShardPlan:
         batch pays each shard's matrix at most once, then aggregates per
         document with the same segment reductions as the unsharded path.
         """
-        queries_normed = np.atleast_2d(
-            np.asarray(queries_normed, dtype=np.float64)
-        )
+        queries_normed = np.atleast_2d(ensure_float(queries_normed))
         probed = self.probe(queries_normed, nprobe)
         results = [QueryShardScores() for _ in range(len(probed))]
         by_shard: Dict[int, List[int]] = {}
@@ -309,6 +404,114 @@ class ShardPlan:
                 results[query_index].add_shard(
                     shard, flat, aggregated, matched
                 )
+        return results
+
+    def search_quantized(
+        self,
+        queries_normed: np.ndarray,
+        strategy: ScoreStrategy,
+        rescore_width: int,
+        nprobe: Optional[int] = None,
+    ) -> List[QueryDocScores]:
+        """Coarse int8 scoring, then an exact rescore of the survivors.
+
+        Per probed shard the int8 copy is scored chunk-wise (~1 byte of
+        DRAM traffic per matrix element) and aggregated per document;
+        the global top-``rescore_width`` documents per query — under the
+        same ``(score desc, doc id asc)`` total order as every other
+        ranking site — then have their *float* rows re-scored with one
+        exact matmul. Survivors form a prefix of the coarse total order,
+        so recall@k is monotone in ``rescore_width``.
+        """
+        if not self.quantized:
+            raise ValueError(
+                "plan has no int8 copy; build with quantize=True or "
+                "call plan.quantize() first"
+            )
+        queries_normed = np.atleast_2d(ensure_float(queries_normed))
+        rescore_width = max(1, int(rescore_width))
+        n_queries = queries_normed.shape[0]
+        dim = queries_normed.shape[1]
+        probed = self.probe(queries_normed, nprobe)
+        by_shard: Dict[int, List[int]] = {}
+        for query_index, shard_ids in enumerate(probed):
+            for shard_id in shard_ids:
+                by_shard.setdefault(int(shard_id), []).append(query_index)
+        # per-query parallel accumulators over every probed shard's docs:
+        # coarse aggregate + enough layout to find the float rows again
+        acc_docs: List[List[np.ndarray]] = [[] for _ in range(n_queries)]
+        acc_scores: List[List[np.ndarray]] = [[] for _ in range(n_queries)]
+        acc_shards: List[List[np.ndarray]] = [[] for _ in range(n_queries)]
+        acc_starts: List[List[np.ndarray]] = [[] for _ in range(n_queries)]
+        acc_stops: List[List[np.ndarray]] = [[] for _ in range(n_queries)]
+        for shard_id in sorted(by_shard):
+            shard = self.shards[shard_id]
+            if len(shard) == 0:
+                continue
+            query_indices = by_shard[shard_id]
+            coarse = coarse_scores(
+                shard.q_matrix,
+                shard.q_scales,
+                queries_normed[query_indices],
+            )
+            stops = np.concatenate(
+                [shard.offsets[1:], [shard.n_rows]]
+            ).astype(np.int64)
+            marks = np.full(len(shard), shard_id, dtype=np.int64)
+            for column, query_index in enumerate(query_indices):
+                aggregated, _ = aggregate_segments(
+                    coarse[:, column], shard.offsets, strategy
+                )
+                acc_docs[query_index].append(shard.doc_ids)
+                acc_scores[query_index].append(aggregated)
+                acc_shards[query_index].append(marks)
+                acc_starts[query_index].append(shard.offsets)
+                acc_stops[query_index].append(stops)
+        results: List[QueryDocScores] = []
+        for query_index in range(n_queries):
+            if acc_docs[query_index]:
+                doc_ids = np.concatenate(acc_docs[query_index])
+                coarse_agg = np.concatenate(acc_scores[query_index])
+                shard_ids = np.concatenate(acc_shards[query_index])
+                starts = np.concatenate(acc_starts[query_index])
+                stops = np.concatenate(acc_stops[query_index])
+            else:
+                doc_ids = np.zeros(0, dtype=np.int64)
+                coarse_agg = np.zeros(0, dtype=ACCUM_DTYPE)
+                shard_ids = np.zeros(0, dtype=np.int64)
+                starts = np.zeros(0, dtype=np.int64)
+                stops = np.zeros(0, dtype=np.int64)
+            survivors = topk_doc_order(coarse_agg, doc_ids, rescore_width)
+            pieces = [
+                self.shards[int(shard_ids[pos])].matrix[
+                    int(starts[pos]) : int(stops[pos])
+                ]
+                for pos in survivors
+            ]
+            rescore_matrix = (
+                np.concatenate(pieces)
+                if pieces
+                else np.zeros((0, dim), dtype=queries_normed.dtype)
+            )
+            lengths = np.asarray(
+                [piece.shape[0] for piece in pieces], dtype=np.int64
+            )
+            offsets = np.concatenate(
+                [[0], np.cumsum(lengths)[:-1]]
+            ).astype(np.int64) if pieces else np.zeros(0, dtype=np.int64)
+            flat = rescore_matrix @ queries_normed[query_index]
+            aggregated, matched = aggregate_segments(
+                flat, offsets, strategy
+            )
+            results.append(
+                QueryDocScores(
+                    doc_ids=doc_ids[survivors],
+                    scores=aggregated,
+                    matched=matched,
+                    flat=flat,
+                    offsets=offsets,
+                )
+            )
         return results
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -27,16 +27,23 @@ from repro.ingest.embedding_store import (
     EmbeddingStore,
     EmbeddingStoreError,
 )
+from repro.precision import ACCUM_DTYPE, ensure_float, quantize_rows
 from repro.retriever.strategies import l2_normalize_rows
 from repro.shard.assignment import (
     MODES,
     assign_documents,
     segment_means,
 )
-from repro.storage.atomic import atomic_write_json
+from repro.storage.atomic import atomic_write_json, atomic_write_npz
 
 SHARDED_MANIFEST_NAME = "sharded_manifest.json"
 SHARDED_STORE_VERSION = 1
+#: Per-shard int8 sidecar: ``q`` (int8 rows) + ``scales`` (float32) of the
+#: shard's *normalized* matrix, as :func:`repro.precision.quantize_rows`
+#: derives them. Quantization is deterministic, so a plan that re-derives
+#: the arrays from the float rows reproduces the sidecar byte-for-byte;
+#: the sidecar's job is the 8x-smaller on-disk/RAM footprint.
+QUANT_SIDECAR_NAME = "quant.npz"
 
 
 class ShardedStoreError(EmbeddingStoreError):
@@ -54,6 +61,14 @@ class ShardedEmbeddingStore:
     shards: List[EmbeddingStore]
     mode: str = "range"
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Loaded int8 sidecars, one ``{"q", "scales"}`` dict (or None) per
+    #: shard; populated by :meth:`open` when the store was saved with
+    #: ``quantize=True``.
+    quant: Optional[List[Optional[Dict[str, np.ndarray]]]] = None
+
+    @property
+    def quantized(self) -> bool:
+        return self.quant is not None
 
     @property
     def n_shards(self) -> int:
@@ -96,7 +111,7 @@ class ShardedEmbeddingStore:
             raise ValueError(
                 f"unknown shard mode {mode!r} (expected {MODES})"
             )
-        matrix = np.asarray(store.matrix, dtype=np.float64)
+        matrix = ensure_float(store.matrix)
         offsets = np.asarray(store.offsets, dtype=np.int64)
         n_docs = len(store.doc_ids)
         total = matrix.shape[0]
@@ -122,7 +137,10 @@ class ShardedEmbeddingStore:
             shard_matrix = (
                 np.concatenate(pieces)
                 if pieces
-                else np.zeros((0, matrix.shape[1] if matrix.ndim == 2 else 0))
+                else np.zeros(
+                    (0, matrix.shape[1] if matrix.ndim == 2 else 0),
+                    dtype=matrix.dtype,
+                )
             )
             lengths = [int(stops[p] - offsets[p]) for p in positions]
             shard_offsets: List[int] = []
@@ -184,10 +202,13 @@ class ShardedEmbeddingStore:
             cursor += int(segment.shape[0])
             if doc_id in shard.row_hashes:
                 row_hashes[doc_id] = shard.row_hashes[doc_id]
+        empty_dtype = (
+            self.shards[0].matrix.dtype if self.shards else ACCUM_DTYPE
+        )
         matrix = (
             np.concatenate(pieces)
             if pieces
-            else np.zeros((0, dim), dtype=np.float64)
+            else np.zeros((0, dim), dtype=empty_dtype)
         )
         first = self.shards[0] if self.shards else None
         return EmbeddingStore(
@@ -205,8 +226,16 @@ class ShardedEmbeddingStore:
         )
 
     # -- persistence -----------------------------------------------------
-    def save(self, directory: Union[str, Path]) -> Path:
-        """Write every shard store, then the sharded manifest (last)."""
+    def save(
+        self, directory: Union[str, Path], quantize: bool = False
+    ) -> Path:
+        """Write every shard store, then the sharded manifest (last).
+
+        ``quantize=True`` additionally writes each shard's int8 sidecar
+        (``quant.npz``: the quantized *normalized* rows + per-row float32
+        scales) and records the fact in the manifest, so :meth:`open`
+        loads the sidecars back.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         shard_dirs: List[str] = []
@@ -214,11 +243,20 @@ class ShardedEmbeddingStore:
             name = _shard_dir_name(shard_id)
             shard.save(directory / name)
             shard_dirs.append(name)
+            if quantize:
+                q, scales = quantize_rows(
+                    l2_normalize_rows(np.asarray(shard.matrix))
+                )
+                atomic_write_npz(
+                    directory / name / QUANT_SIDECAR_NAME,
+                    {"q": q, "scales": scales},
+                )
         manifest = {
             "version": SHARDED_STORE_VERSION,
             "mode": self.mode,
             "n_shards": self.n_shards,
             "shard_dirs": shard_dirs,
+            "quantized": bool(quantize),
             "total_rows": self.total_rows,
             "total_docs": self.total_docs,
             "extra": self.extra,
@@ -259,8 +297,23 @@ class ShardedEmbeddingStore:
             EmbeddingStore.open(directory / name, mmap=mmap)
             for name in shard_dirs
         ]
+        quant: Optional[List[Optional[Dict[str, np.ndarray]]]] = None
+        if manifest.get("quantized"):
+            quant = []
+            for name in shard_dirs:
+                sidecar_path = directory / name / QUANT_SIDECAR_NAME
+                if not sidecar_path.exists():
+                    raise ShardedStoreError(
+                        f"quantized manifest but {name} has no "
+                        f"{QUANT_SIDECAR_NAME}"
+                    )
+                with np.load(sidecar_path) as sidecar:
+                    quant.append(
+                        {"q": sidecar["q"], "scales": sidecar["scales"]}
+                    )
         return cls(
             shards=shards,
             mode=mode,
             extra=dict(manifest.get("extra") or {}),
+            quant=quant,
         )

@@ -205,6 +205,16 @@ VIOLATIONS = {
             return 1
         """,
     ),
+    "hardcoded-dtype": (
+        "shard/quant.py",
+        """
+        import numpy as np
+
+
+        def pack(matrix):
+            return matrix.astype(np.float32)  ##HERE##
+        """,
+    ),
 }
 
 # rule id -> extra LintConfig kwargs a fixture needs (e.g. the layer DAG
@@ -407,6 +417,16 @@ COMPLIANT = {
 
 
         RESULT = helper()
+        """,
+    ),
+    "hardcoded-dtype": (
+        "shard/quant.py",
+        """
+        from repro.precision import ACCUM_DTYPE
+
+
+        def pack(matrix):
+            return matrix.astype(ACCUM_DTYPE)
         """,
     ),
 }
@@ -912,6 +932,72 @@ class TestScoping:
         ).strip("\n") + "\n"
         report = _lint(
             tmp_path, "serve/clock.py", source, select=["wall-clock-timing"]
+        )
+        assert report.findings == []
+
+    def test_hardcoded_dtype_scoped_to_matrix_dirs(self, tmp_path):
+        _, raw = VIOLATIONS["hardcoded-dtype"]
+        source, _ = _render(raw, "")
+        for rel in ("ingest/pack.py", "nn/tensor.py", "serve/keys.py"):
+            report = _lint(tmp_path, rel, source, select=["hardcoded-dtype"])
+            assert [f.rule_id for f in report.findings] == ["hardcoded-dtype"]
+        # outside the embedding layers, in test files, and in the policy
+        # module itself the literal is legitimate
+        for rel in (
+            "pipeline/pack.py",
+            "shard/test_quant.py",
+            "encoder/precision.py",
+        ):
+            report = _lint(tmp_path, rel, source, select=["hardcoded-dtype"])
+            assert report.findings == []
+
+    def test_hardcoded_dtype_catches_string_literals(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+
+
+            def pack(matrix):
+                low = matrix.astype("float32")
+                return np.zeros(3, dtype="float64"), low
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "retriever/pack.py", source, select=["hardcoded-dtype"]
+        )
+        assert [f.rule_id for f in report.findings] == ["hardcoded-dtype"] * 2
+
+    def test_hardcoded_dtype_catches_from_import_alias(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            from numpy import float64 as f8
+
+
+            def pack(matrix):
+                return matrix.astype(f8)
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "encoder/pack.py", source, select=["hardcoded-dtype"]
+        )
+        assert [f.rule_id for f in report.findings] == ["hardcoded-dtype"]
+
+    def test_hardcoded_dtype_ignores_category_checks(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+
+            from repro.precision import ACCUM_DTYPE
+
+
+            def widen(matrix):
+                if np.issubdtype(matrix.dtype, np.floating):
+                    return matrix
+                return matrix.astype(ACCUM_DTYPE)
+            """
+        ).strip("\n") + "\n"
+        report = _lint(
+            tmp_path, "retriever/widen.py", source, select=["hardcoded-dtype"]
         )
         assert report.findings == []
 

@@ -144,6 +144,26 @@ class TestQueryCacheKey:
         assert query_cache_key("q ?", "single", 5, nprobe=3) != pruned
         assert query_cache_key("q ?", "single", 5, nprobe=2) == pruned
 
+    def test_precision_separates_entries(self):
+        """A quantized answer must never serve an exact-mode request."""
+        exact = query_cache_key("q ?", "single", 5)
+        quantized = query_cache_key(
+            "q ?", "single", 5, precision="int8-rescore:64"
+        )
+        assert exact != quantized
+        assert (
+            query_cache_key("q ?", "single", 5, precision="int8-rescore:128")
+            != quantized
+        )
+        assert (
+            query_cache_key("q ?", "single", 5, precision="int8-rescore:64")
+            == quantized
+        )
+        assert (
+            query_cache_key("q ?", "single", 5, precision="float32")
+            != exact
+        )
+
 
 class TestResultCache:
     def test_hit_miss_and_stats(self):
@@ -359,7 +379,7 @@ class TestServeNprobe:
             assert service.stats_snapshot()["cache_hits"] == 1
 
     def test_differing_nprobe_does_not_coalesce(self):
-        """Batches stay homogeneous in (mode, k, nprobe)."""
+        """Batches stay homogeneous in (mode, k, nprobe, precision)."""
         from repro.serve.batching import PendingRequest
 
         a = PendingRequest("q ?", "single", 3, ("key1",), None, nprobe=1)
@@ -367,7 +387,25 @@ class TestServeNprobe:
         c = PendingRequest("q ?", "single", 3, ("key3",), None)
         assert a.batch_key != b.batch_key
         assert a.batch_key != c.batch_key
-        assert c.batch_key == ("single", 3, None)
+        assert c.batch_key == ("single", 3, None, None)
+
+    def test_differing_precision_does_not_coalesce(self):
+        from repro.serve.batching import PendingRequest
+
+        exact = PendingRequest("q ?", "single", 3, ("k1",), None)
+        quant = PendingRequest(
+            "q ?", "single", 3, ("k2",), None,
+            precision="int8-rescore:64",
+        )
+        wider = PendingRequest(
+            "q ?", "single", 3, ("k3",), None,
+            precision="int8-rescore:128",
+        )
+        assert exact.batch_key != quant.batch_key
+        assert quant.batch_key != wider.batch_key
+        assert quant.batch_key == (
+            "single", 3, None, "int8-rescore:64"
+        )
 
 
 # ---------------------------------------------------------------------------
