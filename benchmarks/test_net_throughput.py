@@ -1,0 +1,244 @@
+"""Micro-benchmark: networked worker fleet vs single-process service.
+
+Stands up the same serving bundle twice — once as one in-process
+:class:`repro.serve.RetrievalService` (the thread-based service, GIL
+bound) and once as a 4-worker ``repro.net`` fleet behind the asyncio
+front door — and replays the same query stream against both. The
+encoder is a real (untrained) MiniBERT so each request pays genuine
+encode cost: that is precisely the work the process fleet can spread
+across cores and the threaded service cannot.
+
+A third phase replays the stream *across a hot store-generation
+rollout* and gates the p99 latency seen during the swap against the
+steady-state p99 — hot reload must be invisible at the tail, not just
+eventually consistent.
+
+Writes ``BENCH_net.json`` next to this file. Regression gates:
+
+* networked >= 2x single-process throughput at 4 workers — enforced
+  only on hosts with >= 4 CPUs (on smaller hosts the fleet cannot win
+  by construction; the ratio is still recorded with ``cpu_limited``);
+* p99 across the hot reload <= 3x steady-state p99 (with a small
+  floor so microsecond-scale noise cannot flake the gate);
+* zero errored or dropped requests in every phase.
+
+Marked ``perf`` + ``net``; tier-1 (``testpaths = tests``) never
+collects it.
+"""
+
+import os
+import random
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.net import (
+    Fleet,
+    WorkerSpec,
+    publish_store,
+    synthetic_bundle,
+)
+from repro.serve import RetrievalService, ServiceConfig
+from repro.storage.atomic import atomic_write_json
+
+pytestmark = [pytest.mark.perf, pytest.mark.net]
+
+BUNDLE_KWARGS = dict(
+    seed=31,
+    n_docs=96,
+    triples_per_doc=4,
+    dim=32,
+    encoder="minibert",
+    n_questions=48,
+)
+N_THREADS = 6
+N_WORKERS = 4
+K = 5
+PASSES = 2  # each client thread replays the query set this many times
+#: reload-gate floor: below this steady p99, 3x comparisons measure
+#: scheduler noise, not the rollout
+P99_FLOOR_S = 0.02
+OUT_PATH = Path(__file__).parent / "BENCH_net.json"
+
+
+def _p99(samples):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def _replay_in_process(service, questions):
+    """(elapsed_s, latencies_s, errors) for the threaded baseline."""
+    errors = []
+    latencies = []
+    lock = threading.Lock()
+
+    def client(seed):
+        order = list(questions) * PASSES
+        random.Random(seed).shuffle(order)
+        for question in order:
+            begin = time.perf_counter()
+            try:
+                service.retrieve(question, k=K, timeout=300)
+            except Exception as error:  # recorded; gated below
+                with lock:
+                    errors.append(repr(error))
+                continue
+            with lock:
+                latencies.append(time.perf_counter() - begin)
+
+    threads = [
+        threading.Thread(target=client, args=(seed,))
+        for seed in range(N_THREADS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start, latencies, errors
+
+
+def _replay_fleet(fleet, questions, stop_after=None):
+    """(elapsed_s, latencies_s, errors) over TCP, one client per thread."""
+    errors = []
+    latencies = []
+    lock = threading.Lock()
+
+    def client(seed):
+        order = list(questions) * PASSES
+        random.Random(seed).shuffle(order)
+        with fleet.client() as net:
+            for question in order:
+                begin = time.perf_counter()
+                try:
+                    net.retrieve(question, k=K)
+                except Exception as error:  # recorded; gated below
+                    with lock:
+                        errors.append(repr(error))
+                    continue
+                with lock:
+                    latencies.append(time.perf_counter() - begin)
+
+    threads = [
+        threading.Thread(target=client, args=(seed,))
+        for seed in range(N_THREADS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    if stop_after is not None:
+        stop_after()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start, latencies, errors
+
+
+def test_networked_fleet_throughput(tmp_path_factory):
+    cpus = os.cpu_count() or 1
+    cpu_limited = cpus < 4
+
+    bundle = synthetic_bundle(**BUNDLE_KWARGS)
+    store_dir = tmp_path_factory.mktemp("net_bench") / "store"
+    publish_store(bundle, store_dir)
+    questions = bundle.questions
+    total = N_THREADS * len(questions) * PASSES
+
+    # -- phase 1: single-process threaded service ------------------------
+    retriever = bundle.make_retriever()
+    retriever.refresh_embeddings()
+    config = ServiceConfig(
+        max_batch_size=N_THREADS,
+        max_wait_ms=2.0,
+        max_pending=total,
+        cache_size=0,
+        default_k=K,
+    )
+    with RetrievalService(retriever, config=config) as service:
+        single_s, single_lat, single_errors = _replay_in_process(
+            service, questions
+        )
+    assert single_errors == []
+    assert len(single_lat) == total
+
+    # -- phase 2: 4-worker fleet over TCP --------------------------------
+    spec = WorkerSpec(
+        target="repro.net.bootstrap:synthetic_bundle",
+        kwargs=dict(BUNDLE_KWARGS),
+        store_dir=str(store_dir),
+        service={
+            "max_batch_size": N_THREADS,
+            "max_wait_ms": 2.0,
+            "max_pending": total,
+            "cache_size": 0,
+            "default_k": K,
+        },
+    )
+    with Fleet(spec, workers=N_WORKERS) as fleet:
+        net_s, net_lat, net_errors = _replay_fleet(fleet, questions)
+        assert net_errors == []
+        assert len(net_lat) == total
+        steady_p99 = _p99(net_lat)
+
+        # -- phase 3: the same stream across a hot rollout ---------------
+        def trigger_rollout():
+            publish_store(bundle, store_dir)  # generation 2
+            with fleet.client() as net:
+                generations = net.reload()["generations"]
+            assert generations == [2] * N_WORKERS
+
+        _, reload_lat, reload_errors = _replay_fleet(
+            fleet, questions, stop_after=trigger_rollout
+        )
+        assert reload_errors == []
+        assert len(reload_lat) == total
+        reload_p99 = _p99(reload_lat)
+        with fleet.client() as net:
+            stats = net.stats()
+
+    single_qps = total / single_s
+    net_qps = total / net_s
+    speedup = net_qps / single_qps
+    p99_bound = 3.0 * max(steady_p99, P99_FLOOR_S)
+
+    payload = {
+        "cpus": cpus,
+        "cpu_limited": cpu_limited,
+        "workers": N_WORKERS,
+        "client_threads": N_THREADS,
+        "n_docs": BUNDLE_KWARGS["n_docs"],
+        "n_queries": len(questions),
+        "passes": PASSES,
+        "requests_per_phase": total,
+        "k": K,
+        "single_process_seconds": single_s,
+        "single_process_qps": single_qps,
+        "single_process_p99_ms": _p99(single_lat) * 1e3,
+        "networked_seconds": net_s,
+        "networked_qps": net_qps,
+        "speedup": speedup,
+        "steady_p99_ms": steady_p99 * 1e3,
+        "reload_p99_ms": reload_p99 * 1e3,
+        "reload_p99_bound_ms": p99_bound * 1e3,
+        "errors": 0,
+        "frontdoor": stats["frontdoor"],
+        "aggregate": stats["aggregate"],
+        "worker_generations": [w["generation"] for w in stats["workers"]],
+    }
+    atomic_write_json(OUT_PATH, payload, indent=2)
+    print(
+        f"\nnet throughput: single-process {single_qps:.0f} qps, "
+        f"{N_WORKERS}-worker fleet {net_qps:.0f} qps ({speedup:.2f}x, "
+        f"{cpus} cpus), steady p99 {steady_p99 * 1e3:.1f} ms, "
+        f"reload p99 {reload_p99 * 1e3:.1f} ms"
+    )
+    # the swap must be invisible at the tail on any host
+    assert reload_p99 <= p99_bound, payload
+    if cpu_limited:
+        pytest.skip(
+            f"only {cpus} CPU(s): the 2x fleet-throughput gate needs >= 4 "
+            "(ratio recorded in BENCH_net.json)"
+        )
+    # the acceptance bar from the networking issue
+    assert speedup >= 2.0, payload

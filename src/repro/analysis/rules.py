@@ -1053,3 +1053,141 @@ class HardcodedDtype(Rule):
             elif isinstance(node, ast.Call):
                 for expr in self._string_dtype_args(node):
                     yield self._flag(ctx, expr, repr(expr.value))
+
+
+# ---------------------------------------------------------------------------
+# blocking-in-async
+# ---------------------------------------------------------------------------
+
+_BLOCKING_SOCKET_METHODS = frozenset(
+    {"recv", "recv_into", "recvfrom", "sendall", "accept", "makefile"}
+)
+_BLOCKING_PATH_METHODS = frozenset(
+    {"read_text", "read_bytes", "write_text", "write_bytes"}
+)
+
+
+@register
+class BlockingInAsync(Rule):
+    """Coroutine bodies in the net layer must not block the event loop.
+
+    One ``time.sleep`` or sync socket read inside the front door's
+    ``async def`` handlers stalls *every* connection multiplexed on that
+    loop — the failure is invisible under light test load and
+    catastrophic under fan-out. Blocking work belongs in the worker
+    processes or behind ``run_in_executor``/``asyncio.to_thread``
+    (passing the blocking function *uncalled* is fine and does not
+    fire). Nested synchronous ``def``s inside a coroutine are exempt:
+    they only block if called, and the call site is what gets flagged.
+    """
+
+    id = "blocking-in-async"
+    description = (
+        "blocking call (sleep/socket/file IO) inside async def in net/"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "net" in ctx.dir_parts
+
+    def _aliases(self, tree: ast.AST) -> Tuple[Set[str], Set[str], Set[str]]:
+        """(time-module aliases, socket-module aliases, blocking fn aliases).
+
+        Function aliases cover ``from time import sleep`` and
+        ``from socket import create_connection/socket/socketpair`` — the
+        from-imported names that block when called bare.
+        """
+        time_modules: Set[str] = set()
+        socket_modules: Set[str] = set()
+        functions: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_modules.add(alias.asname or "time")
+                    elif alias.name == "socket":
+                        socket_modules.add(alias.asname or "socket")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name == "sleep":
+                            functions.add(alias.asname or "sleep")
+                elif node.module == "socket":
+                    for alias in node.names:
+                        if alias.name in (
+                            "create_connection",
+                            "socket",
+                            "socketpair",
+                        ):
+                            functions.add(alias.asname or alias.name)
+        return time_modules, socket_modules, functions
+
+    def _flag_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        time_modules: Set[str],
+        socket_modules: Set[str],
+        functions: Set[str],
+    ) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "open() blocks the event loop; read the file before "
+                    "entering async code or use run_in_executor",
+                )
+            elif func.id in functions:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func.id}() is blocking inside async def; use the "
+                    "asyncio equivalent or run_in_executor",
+                )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if isinstance(func.value, ast.Name):
+            owner = func.value.id
+            if owner in time_modules and func.attr == "sleep":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "time.sleep() stalls the event loop; use "
+                    "await asyncio.sleep()",
+                )
+                return
+            if owner in socket_modules:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"socket.{func.attr}() is synchronous; use "
+                    "asyncio.open_connection/start_server",
+                )
+                return
+        if func.attr in _BLOCKING_SOCKET_METHODS:
+            yield self.finding(
+                ctx,
+                node,
+                f".{func.attr}() is a blocking socket call; use the "
+                "asyncio stream API",
+            )
+        elif func.attr in _BLOCKING_PATH_METHODS:
+            yield self.finding(
+                ctx,
+                node,
+                f".{func.attr}() does synchronous file IO inside async "
+                "def; move it off the loop (run_in_executor)",
+            )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        time_modules, socket_modules, functions = self._aliases(ctx.tree)
+        for scope in ast.walk(ctx.tree):
+            if not isinstance(scope, ast.AsyncFunctionDef):
+                continue
+            for node in _walk_shallow(scope):
+                if isinstance(node, ast.Call):
+                    yield from self._flag_call(
+                        ctx, node, time_modules, socket_modules, functions
+                    )

@@ -10,6 +10,8 @@ Subcommands::
     python -m repro.cli demo   "a sentence or two of text"   # OIE + Alg.1
     python -m repro.cli lint   [paths ...] [--jobs N] [--output report.json]
     python -m repro.cli serve-bench --model model_dir [--threads 8 ...]
+    python -m repro.cli serve  --listen HOST:PORT --workers N [--store DIR]
+    python -m repro.cli net-bench --synthetic [--workers 4 --threads 8 ...]
 
 ``build`` trains the full system on a freshly generated world and saves it
 (plus the world seed, so ``query``/``eval`` can rebuild the same corpus).
@@ -19,7 +21,10 @@ later runs refresh instead of rebuild. ``lint`` runs the repo's own
 static analyzer (``repro.analysis``) and exits non-zero when any rule
 fires. ``serve-bench`` stands up the in-process :mod:`repro.serve`
 service and replays a query file from many client threads, reporting
-throughput / latency / batching / cache stats.
+throughput / latency / batching / cache stats. ``serve`` stands up the
+*networked* fleet instead — an asyncio front door over N worker
+processes (:mod:`repro.net`) with crash recovery and hot store reload —
+and ``net-bench`` replays a query stream through that fleet over TCP.
 """
 
 from __future__ import annotations
@@ -350,6 +355,21 @@ def cmd_serve_bench(args) -> int:
         snapshot = service.stats_snapshot()
         summary = service.stats_summary()
     if args.format == "json":
+        # record the run parameters alongside the stats so the BENCH
+        # artifact is reproducible without out-of-band context
+        snapshot["run"] = {
+            "mode": args.mode,
+            "k": args.k,
+            "threads": args.threads,
+            "queries": len(questions),
+            "precision": precision.key() if precision else None,
+            "nprobe": args.nprobe,
+            "shards": args.shards,
+            "shard_mode": args.shard_mode if args.shards else None,
+            "store_generation": getattr(
+                system.retriever, "store_generation", None
+            ),
+        }
         print(json.dumps(snapshot, indent=2, sort_keys=True))
     else:
         print(
@@ -364,6 +384,228 @@ def cmd_serve_bench(args) -> int:
         )
         return 1
     return 0
+
+
+def _parse_listen(value: str):
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"--listen expects HOST:PORT, got {value!r}"
+        )
+    return host, int(port)
+
+
+def _worker_spec(args):
+    """Build the :class:`repro.net.WorkerSpec` shared by serve/net-bench."""
+    from repro.net import WorkerSpec
+
+    if args.model is not None:
+        target = "repro.net.bootstrap:model_dir_bundle"
+        kwargs = {"model_dir": str(args.model)}
+    else:
+        target = "repro.net.bootstrap:synthetic_bundle"
+        kwargs = {
+            "seed": args.synthetic_seed,
+            "n_docs": args.synthetic_docs,
+            "encoder": args.synthetic_encoder,
+            "multihop": not args.no_multihop,
+        }
+    service = {
+        "max_batch_size": args.batch_size,
+        "max_wait_ms": args.wait_ms,
+        "cache_size": args.cache_size,
+    }
+    return WorkerSpec(
+        target=target,
+        kwargs=kwargs,
+        store_dir=str(args.store) if args.store else None,
+        multihop=not args.no_multihop,
+        shards=args.shards,
+        shard_mode=args.shard_mode,
+        service=service,
+    )
+
+
+def cmd_serve(args) -> int:
+    from repro.net import Fleet
+
+    if args.model is None and not args.synthetic:
+        print(
+            "error: provide --model DIR or --synthetic", file=sys.stderr
+        )
+        return 2
+    host, port = args.listen
+    spec = _worker_spec(args)
+    fleet = Fleet(
+        spec,
+        workers=args.workers,
+        host=host,
+        port=port,
+        watch_store=args.watch_store,
+    )
+    stop = threading.Event()
+    with fleet:
+        bound_host, bound_port = fleet.address
+        print(
+            f"serving on {bound_host}:{bound_port} with {args.workers} "
+            f"worker process(es)"
+            + (f", watching {args.store} for new generations"
+               if args.watch_store else "")
+        )
+        try:
+            # --run-seconds bounds the lifetime (tests, smoke runs);
+            # otherwise serve until interrupted
+            stop.wait(args.run_seconds)
+        except KeyboardInterrupt:
+            print("shutting down")
+    return 0
+
+
+def cmd_net_bench(args) -> int:
+    import random as random_module
+
+    from repro.net import Fleet, NetClient
+
+    if args.model is None and not args.synthetic:
+        print(
+            "error: provide --model DIR or --synthetic", file=sys.stderr
+        )
+        return 2
+    spec = _worker_spec(args)
+    fleet = Fleet(spec, workers=args.workers)
+    errors = []
+    with fleet:
+        with NetClient(fleet.address) as probe:
+            pong = probe.ping()
+            if not pong.get("ok"):
+                print("error: fleet did not answer ping", file=sys.stderr)
+                return 1
+        if args.queries is not None:
+            questions = _read_query_file(Path(args.queries))
+        else:
+            from repro.net import resolve_target
+
+            bundle = resolve_target(spec.target)(**spec.kwargs)
+            questions = bundle.questions[: args.n] or [
+                f"synthetic query {i} ?" for i in range(args.n)
+            ]
+
+        def client_thread(seed: int) -> None:
+            order = list(questions)
+            random_module.Random(seed).shuffle(order)
+            with NetClient(fleet.address) as client:
+                for index, question in enumerate(order):
+                    mode = args.mode
+                    if mode == "mixed":
+                        mode = "paths" if index % 4 == 0 else "single"
+                    try:
+                        client.query_raw(
+                            question, mode=mode, k=args.k,
+                            nprobe=args.nprobe, precision=args.precision,
+                        )
+                    except Exception as error:
+                        errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=client_thread, args=(seed,))
+            for seed in range(args.threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with NetClient(fleet.address) as client:
+            stats = client.stats()
+    generations = sorted(
+        {w.get("generation") for w in stats.get("workers", [])}
+    )
+    payload = {
+        "run": {
+            "mode": args.mode,
+            "k": args.k,
+            "threads": args.threads,
+            "workers": args.workers,
+            "queries": len(questions),
+            "precision": args.precision,
+            "nprobe": args.nprobe,
+            "store_generations": generations,
+        },
+        "frontdoor": stats.get("frontdoor"),
+        "aggregate": stats.get("aggregate"),
+        "workers": stats.get("workers"),
+        "errors": len(errors),
+    }
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        front = payload["frontdoor"] or {}
+        latency = front.get("latency_ms") or {}
+        print(
+            f"replayed {len(questions)} queries x {args.threads} client "
+            f"thread(s) over {args.workers} worker(s), mode={args.mode}"
+        )
+        print(
+            f"  frontdoor: {front.get('completed', 0)} completed, "
+            f"{front.get('failed', 0)} failed, "
+            f"{front.get('retried', 0)} retried"
+        )
+        if latency:
+            print(
+                f"  latency ms: p50 {latency.get('p50', 0):.2f}  "
+                f"p95 {latency.get('p95', 0):.2f}  "
+                f"p99 {latency.get('p99', 0):.2f}"
+            )
+        print(f"  store generation(s): {generations}")
+    if errors:
+        print(
+            f"{len(errors)} request error(s); first: {errors[0]}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _add_fleet_arguments(parser) -> None:
+    """Worker-fleet options shared by ``serve`` and ``net-bench``."""
+    parser.add_argument(
+        "--model", default=None,
+        help="trained model dir (repro build); omit for --synthetic",
+    )
+    parser.add_argument(
+        "--synthetic", action="store_true",
+        help="serve a deterministic synthetic bundle (no model needed)",
+    )
+    parser.add_argument("--synthetic-seed", type=int, default=29)
+    parser.add_argument("--synthetic-docs", type=int, default=48)
+    parser.add_argument(
+        "--synthetic-encoder", choices=("dyadic", "minibert"),
+        default="minibert",
+        help="synthetic bundle encoder (dyadic = exact/cheap)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="published artifact dir (store.json + embeddings/) to "
+        "memmap-attach; workers warm-start with zero encoder calls",
+    )
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes")
+    parser.add_argument(
+        "--no-multihop", action="store_true",
+        help="serve single-hop only (skip the updater/multihop stack)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="build an N-shard plan inside each worker",
+    )
+    parser.add_argument(
+        "--shard-mode", choices=("range", "centroid"), default="range",
+    )
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="per-worker micro-batch flush size")
+    parser.add_argument("--wait-ms", type=float, default=2.0,
+                        help="per-worker micro-batch window (ms)")
+    parser.add_argument("--cache-size", type=int, default=1024,
+                        help="per-worker result cache capacity (0 disables)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -560,6 +802,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="stats output format",
     )
     serve_bench.set_defaults(func=cmd_serve_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve retrieval over TCP: asyncio front door + N worker "
+        "processes with hot store reload",
+    )
+    serve.add_argument(
+        "--listen", type=_parse_listen, default=("127.0.0.1", 7371),
+        metavar="HOST:PORT",
+        help="front-door bind address (port 0 picks a free port)",
+    )
+    _add_fleet_arguments(serve)
+    serve.add_argument(
+        "--watch-store", action="store_true",
+        help="poll --store for new generations and hot-roll the fleet "
+        "automatically when `repro ingest` publishes one",
+    )
+    serve.add_argument(
+        "--run-seconds", type=float, default=None, metavar="S",
+        help="serve for S seconds then exit 0 (default: until Ctrl-C)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    net_bench = sub.add_parser(
+        "net-bench",
+        help="replay queries through a local worker fleet over TCP",
+    )
+    _add_fleet_arguments(net_bench)
+    net_bench.add_argument(
+        "--queries", default=None, metavar="FILE",
+        help="query file, one question per line (default: the bundle's "
+        "own deterministic questions)",
+    )
+    net_bench.add_argument("--n", type=int, default=32,
+                           help="bundle questions to replay")
+    net_bench.add_argument("--threads", type=int, default=8,
+                           help="client threads")
+    net_bench.add_argument("--k", type=int, default=3)
+    net_bench.add_argument(
+        "--mode", choices=("single", "paths", "mixed"), default="mixed",
+        help="mixed interleaves multi-hop paths into the stream",
+    )
+    net_bench.add_argument(
+        "--nprobe", type=int, default=None,
+        help="shards probed per request (requires --shards)",
+    )
+    net_bench.add_argument(
+        "--precision",
+        choices=("float64", "float32", "int8-rescore"), default=None,
+        help="precision policy of every replayed request",
+    )
+    net_bench.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    net_bench.set_defaults(func=cmd_net_bench)
     return parser
 
 

@@ -4,6 +4,7 @@ from repro.ingest.embedding_store import (
     EmbeddingStore,
     EmbeddingStoreError,
     STORE_VERSION,
+    store_generation,
 )
 from repro.ingest.fingerprint import (
     config_fingerprint,
@@ -39,5 +40,6 @@ __all__ = [
     "document_fingerprint",
     "encoder_fingerprint",
     "extract_corpus_triples",
+    "store_generation",
     "triples_fingerprint",
 ]

@@ -42,7 +42,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -101,6 +101,12 @@ class EmbeddingStore:
     encoder_fingerprint: str
     construction_fingerprint: str = ""
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Monotonic publish counter: ``save`` writes previous + 1 into the
+    #: manifest; a freshly built (never-persisted) store is generation 0.
+    #: Two saves of identical content share a data file but still get
+    #: distinct generations — "what the fleet serves" is a publish event,
+    #: not a content identity, which is what hot reload needs to observe.
+    generation: int = 0
 
     @property
     def dim(self) -> int:
@@ -137,6 +143,10 @@ class EmbeddingStore:
                 previous = {}  # corrupt previous manifest: nothing to grace
         previous_data = previous.get("data_file")
         previous_grace = previous.get("grace_file")
+        try:
+            generation = int(previous.get("generation", 0)) + 1
+        except (TypeError, ValueError):
+            generation = 1
         # persist the matrix in its own (policy-chosen) dtype; anything
         # that is not a supported store dtype is canonicalized to float64,
         # matching the pre-dtype-policy behaviour
@@ -156,6 +166,7 @@ class EmbeddingStore:
             grace = previous_data
         manifest = {
             "version": STORE_VERSION,
+            "generation": generation,
             "dtype": dtype.name,
             "rows": int(matrix.shape[0]),
             "dim": int(matrix.shape[1]),
@@ -169,6 +180,7 @@ class EmbeddingStore:
             "extra": self.extra,
         }
         atomic_write_json(directory / MANIFEST_NAME, manifest)
+        self.generation = generation
         # GC generations outside the grace window; done last so a crash
         # before this point leaves the previous generation loadable
         keep = {data_name, grace}
@@ -274,4 +286,29 @@ class EmbeddingStore:
             encoder_fingerprint=encoder_fp,
             construction_fingerprint=construction_fp,
             extra=dict(manifest.get("extra") or {}),
+            # legacy (v1) manifests predate the counter and read as 0
+            generation=int(manifest.get("generation", 0) or 0),
         )
+
+
+def store_generation(directory: Union[str, Path]) -> Optional[int]:
+    """Peek the published generation without attaching the matrix.
+
+    One manifest read — cheap enough for the supervisor to poll while
+    watching for a new ``repro ingest`` publish. Returns ``None`` when no
+    (readable) store exists at ``directory`` yet. Accepts both a bare
+    store directory and a published artifact directory whose manifest
+    lives under the ``embeddings/`` subdirectory (the ingest layout).
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        manifest_path = directory / "embeddings" / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    try:
+        return int(manifest.get("generation", 0))
+    except (TypeError, ValueError):
+        return 0

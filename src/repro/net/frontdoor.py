@@ -1,0 +1,470 @@
+"""The asyncio front door: one address, N worker processes behind it.
+
+Clients speak the same length-prefixed JSON protocol the workers do; the
+front door multiplexes every client request onto per-worker links
+(least-pending routing), matches responses by wire id, and measures true
+end-to-end latency in its own reservoir — the authoritative p50/p95/p99
+for the fleet, since per-worker percentiles cannot be merged exactly.
+
+**Crash recovery.** A lost worker link re-dispatches that link's
+in-flight requests onto surviving workers (bounded attempts). Queries
+are idempotent reads — the dead worker never answered them, so a retry
+can change nothing but latency; a retried request therefore returns the
+byte-identical response the dead worker would have produced. Requests
+that exhaust their attempts (or find no live worker within the dispatch
+window) fail with an explicit ``worker-unavailable`` error rather than
+hanging.
+
+Everything network-facing here is a coroutine, and the
+``blocking-in-async`` lint rule holds this file to it: no ``time.sleep``,
+no synchronous socket calls, no direct file reads inside ``async def`` —
+the one blocking operation (the supervisor's rollout, which spawns
+processes) runs in the default executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.protocol import (
+    ProtocolError,
+    read_frame_async,
+    write_frame_async,
+)
+from repro.net.supervisor import Supervisor, WorkerHandle
+from repro.perf import LatencyReservoir
+from repro.serve import merge_snapshots
+
+
+class _Inflight:
+    """One client request travelling through (possibly several) links."""
+
+    __slots__ = ("payload", "future", "attempts")
+
+    def __init__(self, payload: Dict[str, Any], future: "asyncio.Future"):
+        self.payload = payload
+        self.future = future
+        self.attempts = 0
+
+
+def _error_payload(request_id: Any, kind: str, message: str) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": kind, "message": message},
+    }
+
+
+class _WorkerLink:
+    """One multiplexed connection to one worker incarnation."""
+
+    def __init__(self, frontdoor: "FrontDoor", handle: WorkerHandle):
+        self.frontdoor = frontdoor
+        self.handle = handle
+        self.key = (handle.slot, handle.incarnation)
+        self.pending: Dict[int, _Inflight] = {}
+        self._ids = itertools.count(1)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._task: Optional[asyncio.Task] = None
+        self._closed = False
+
+    async def open(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.handle.host, self.handle.port
+        )
+        self._task = asyncio.create_task(self._read_loop())
+
+    async def send(self, inflight: _Inflight) -> None:
+        """Register then transmit; registration first, so a connection
+        that dies mid-write still re-dispatches this request."""
+        wire_id = next(self._ids)
+        self.pending[wire_id] = inflight
+        await write_frame_async(
+            self._writer, {**inflight.payload, "id": wire_id}
+        )
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame_async(self._reader)
+                if frame is None:
+                    break
+                inflight = self.pending.pop(frame.get("id"), None)
+                if inflight is not None and not inflight.future.done():
+                    inflight.future.set_result(frame)
+        except (ProtocolError, ConnectionError, OSError):
+            pass  # lint: ignore[except-pass] -- link loss IS the signal; finally redispatches
+        finally:
+            await self.frontdoor._link_lost(self)
+
+    async def close(self) -> None:
+        """Tear down the transport (idempotent); pending stays with the
+        caller — ``_link_lost`` decides what to retry."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._task is not None and self._task is not asyncio.current_task():
+            self._task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class FrontDoor:
+    """Asyncio TCP server routing the protocol to the worker fleet.
+
+    Runs its event loop in a dedicated thread so the synchronous world
+    (CLI, tests, the supervisor's health thread) can start/stop it and
+    receive fleet-change notifications without owning a loop themselves.
+    """
+
+    def __init__(
+        self,
+        supervisor: Supervisor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_attempts: int = 3,
+        dispatch_timeout_s: float = 30.0,
+        request_timeout_s: float = 300.0,
+    ):
+        self.supervisor = supervisor
+        self.host = host
+        self._requested_port = port
+        self.max_attempts = max_attempts
+        self.dispatch_timeout_s = dispatch_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.latencies = LatencyReservoir()
+        # counters are only touched on the loop thread; the lock guards
+        # cross-thread snapshot reads
+        self._counter_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._retried = 0
+        self._links: Dict[Tuple[int, int], _WorkerLink] = {}
+        self._links_changed: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._bound_port: Optional[int] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle (called from the sync world) ---------------------------
+    def start(self) -> "FrontDoor":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-frontdoor", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"front door failed to start: {self._startup_error}"
+            )
+        if self._bound_port is None:
+            raise RuntimeError("front door did not come up in time")
+        # from here on the supervisor pushes fleet changes at us; seed
+        # the link set with whatever is alive right now
+        self.supervisor.on_change = self._on_workers_changed
+        self._on_workers_changed(self.supervisor.handles())
+        return self
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._request_stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        if self.supervisor.on_change == self._on_workers_changed:
+            self.supervisor.on_change = None
+
+    def __enter__(self) -> "FrontDoor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._bound_port is None:
+            raise RuntimeError("front door is not running")
+        return (self.host, self._bound_port)
+
+    def _on_workers_changed(self, handles: List[WorkerHandle]) -> None:
+        """Supervisor callback (arbitrary thread) → loop-thread reconcile."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(
+                self._reconcile(list(handles)), loop
+            )
+
+    # -- loop thread ------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as error:  # surfaced by start()
+            self._startup_error = error
+            self._ready.set()
+
+    def _request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._links_changed = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._client_connected, self.host, self._requested_port
+        )
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            for link in list(self._links.values()):
+                await link.close()
+            self._links.clear()
+
+    # -- link management --------------------------------------------------
+    async def _reconcile(self, handles: List[WorkerHandle]) -> None:
+        want = {(h.slot, h.incarnation): h for h in handles}
+        for key in [k for k in self._links if k not in want]:
+            link = self._links.pop(key)
+            await link.close()
+            await self._redispatch_orphans(link)
+        for key, handle in want.items():
+            if key in self._links:
+                continue
+            link = _WorkerLink(self, handle)
+            try:
+                await link.open()
+            except (ConnectionError, OSError):
+                # the worker died between notification and connect; the
+                # health loop will respawn it and notify again
+                continue
+            self._links[key] = link
+        self._links_changed.set()
+
+    async def _link_lost(self, link: _WorkerLink) -> None:
+        """Reader-loop exit path: drop the link, retry its in-flight."""
+        if self._links.get(link.key) is link:
+            del self._links[link.key]
+        await link.close()
+        await self._redispatch_orphans(link)
+
+    async def _redispatch_orphans(self, link: _WorkerLink) -> None:
+        orphans = list(link.pending.values())
+        link.pending.clear()
+        for inflight in orphans:
+            if inflight.future.done():
+                continue
+            with self._counter_lock:
+                self._retried += 1
+            asyncio.create_task(self._dispatch(inflight))
+
+    def _pick_link(self) -> Optional[_WorkerLink]:
+        live = [link for link in self._links.values() if not link.closed]
+        if not live:
+            return None
+        return min(live, key=lambda link: len(link.pending))
+
+    async def _dispatch(self, inflight: _Inflight) -> None:
+        """Route one request to a live worker, waiting out restart gaps."""
+        if inflight.future.done():
+            return
+        inflight.attempts += 1
+        if inflight.attempts > self.max_attempts:
+            inflight.future.set_result(
+                _error_payload(
+                    None,
+                    "worker-unavailable",
+                    f"request failed on {self.max_attempts} workers",
+                )
+            )
+            return
+        deadline = self._loop.time() + self.dispatch_timeout_s
+        while not inflight.future.done():
+            link = self._pick_link()
+            if link is not None:
+                try:
+                    await link.send(inflight)
+                except (ConnectionError, OSError):
+                    # send() registered first, so the loss path owns the
+                    # retry; just take the link out of rotation
+                    await self._link_lost(link)
+                return
+            remaining = deadline - self._loop.time()
+            if remaining <= 0:
+                inflight.future.set_result(
+                    _error_payload(
+                        None,
+                        "worker-unavailable",
+                        "no live worker within the dispatch window",
+                    )
+                )
+                return
+            self._links_changed.clear()
+            try:
+                await asyncio.wait_for(
+                    self._links_changed.wait(), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                pass  # lint: ignore[except-pass] -- timeout is the loop's normal tick
+
+    # -- client handling --------------------------------------------------
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                frame = await read_frame_async(reader)
+                if frame is None:
+                    break
+                task = asyncio.create_task(
+                    self._serve_frame(frame, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ProtocolError, ConnectionError, OSError):
+            pass  # lint: ignore[except-pass] -- client disconnect ends the loop; finally cancels
+        finally:
+            for task in list(tasks):
+                task.cancel()
+            writer.close()
+
+    async def _serve_frame(
+        self,
+        frame: Any,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        if not isinstance(frame, dict):
+            response: Dict[str, Any] = _error_payload(
+                None, "ProtocolError", "request frame must be a JSON object"
+            )
+        else:
+            op = frame.get("op", "query")
+            client_id = frame.get("id")
+            if op == "query":
+                response = await self._serve_query(frame)
+            elif op == "ping":
+                response = {
+                    "ok": True,
+                    "op": "ping",
+                    "workers": len(self._links),
+                }
+            elif op == "stats":
+                response = await self._serve_stats()
+            elif op == "reload":
+                response = await self._serve_reload(frame)
+            else:
+                response = _error_payload(
+                    client_id, "ProtocolError", f"unknown op {op!r}"
+                )
+            response["id"] = client_id
+        try:
+            async with write_lock:
+                await write_frame_async(writer, response)
+        except (ConnectionError, OSError):
+            pass  # lint: ignore[except-pass] -- client went away; nothing to deliver to
+
+    async def _serve_query(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        payload = {
+            key: frame[key]
+            for key in (
+                "op", "question", "mode", "k", "nprobe", "precision",
+                "deadline_s", "timeout_s",
+            )
+            if key in frame
+        }
+        payload.setdefault("op", "query")
+        started = self._loop.time()
+        with self._counter_lock:
+            self._submitted += 1
+        inflight = _Inflight(payload, self._loop.create_future())
+        await self._dispatch(inflight)
+        try:
+            response = await asyncio.wait_for(
+                inflight.future, timeout=self.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            response = _error_payload(
+                None, "TimeoutError",
+                f"no worker response within {self.request_timeout_s}s",
+            )
+        self.latencies.record(self._loop.time() - started)
+        with self._counter_lock:
+            if response.get("ok"):
+                self._completed += 1
+            else:
+                self._failed += 1
+        return dict(response)
+
+    async def _serve_stats(self) -> Dict[str, Any]:
+        workers = []
+        snapshots = []
+        for link in list(self._links.values()):
+            inflight = _Inflight({"op": "stats"}, self._loop.create_future())
+            try:
+                await link.send(inflight)
+                answer = await asyncio.wait_for(inflight.future, timeout=30.0)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                continue
+            if not answer.get("ok"):
+                continue
+            workers.append({
+                "slot": link.handle.slot,
+                "incarnation": link.handle.incarnation,
+                "pid": answer.get("pid"),
+                "generation": answer.get("generation"),
+                "pending": answer.get("pending"),
+                "stats": answer.get("stats"),
+            })
+            snapshots.append(answer.get("stats") or {})
+        return {
+            "ok": True,
+            "op": "stats",
+            "frontdoor": self.stats_snapshot(),
+            "workers": sorted(workers, key=lambda w: w["slot"]),
+            "aggregate": merge_snapshots(snapshots),
+        }
+
+    async def _serve_reload(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        store_dir = frame.get("store_dir")
+        try:
+            generations = await self._loop.run_in_executor(
+                None, self.supervisor.rollout, store_dir
+            )
+        except Exception as error:
+            return _error_payload(None, type(error).__name__, str(error))
+        return {"ok": True, "op": "reload", "generations": generations}
+
+    # -- observability (sync-world safe) ----------------------------------
+    def stats_snapshot(self) -> Dict[str, Any]:
+        with self._counter_lock:
+            out = {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "retried": self._retried,
+                "workers_linked": len(self._links),
+            }
+        out["latency_ms"] = {
+            name: seconds * 1e3
+            for name, seconds in self.latencies.percentiles().items()
+        }
+        return out

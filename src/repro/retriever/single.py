@@ -254,6 +254,19 @@ class SingleRetriever:
         self._attached = embeddings
         return total
 
+    @property
+    def store_generation(self) -> Optional[int]:
+        """Publish generation of the attached store (None when cold-built).
+
+        Networked serving tags every response with the generation its
+        worker scored against, so clients can prove a single answer never
+        mixes store generations across a hot swap.
+        """
+        attached = self._attached
+        if attached is None:
+            return None
+        return int(getattr(attached, "generation", 0))
+
     def detach_embeddings(self) -> None:
         """Drop every cached embedding and all dirty-tracking state."""
         self._embeddings = {}

@@ -22,7 +22,7 @@ from repro.serve.errors import (
     ServiceStopped,
 )
 from repro.serve.service import MODES, RetrievalService, ServiceConfig
-from repro.serve.stats import ServiceStats
+from repro.serve.stats import ServiceStats, merge_snapshots
 
 __all__ = [
     "BatchQueue",
@@ -38,5 +38,6 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
     "ServiceStopped",
+    "merge_snapshots",
     "query_cache_key",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.perf import LatencyReservoir
 
@@ -149,3 +149,56 @@ class ServiceStats:
                 f" expirations {cache['expirations']})"
             )
         return "\n".join(lines)
+
+
+#: snapshot() keys that aggregate across workers by plain summation.
+_SUMMED_KEYS = (
+    "submitted",
+    "completed",
+    "cache_hits",
+    "rejected_overload",
+    "rejected_deadline",
+    "failed",
+    "batches",
+    "batched_requests",
+)
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Fold per-worker :meth:`ServiceStats.snapshot` dicts into one view.
+
+    Counters and qps sum; batch-size histograms merge; latency
+    percentiles cannot be combined exactly from per-worker quantiles, so
+    ``latency_ms`` reports the element-wise worst (max) across workers —
+    a conservative fleet bound. The front door's own end-to-end reservoir
+    is the authoritative percentile source; this merge exists so worker
+    internals (batching efficacy, rejections, cache hits) stay observable
+    from one endpoint.
+    """
+    merged: dict = {key: 0 for key in _SUMMED_KEYS}
+    histogram: Dict[int, int] = {}
+    latency: Dict[str, float] = {}
+    qps = 0.0
+    n = 0
+    for snap in snapshots:
+        if not snap:
+            continue
+        n += 1
+        for key in _SUMMED_KEYS:
+            merged[key] += int(snap.get(key, 0))
+        for size, count in (snap.get("batch_size_histogram") or {}).items():
+            size = int(size)
+            histogram[size] = histogram.get(size, 0) + int(count)
+        for name, value in (snap.get("latency_ms") or {}).items():
+            latency[name] = max(latency.get(name, 0.0), float(value))
+        qps += float(snap.get("qps", 0.0))
+    merged["workers"] = n
+    merged["mean_batch_size"] = (
+        merged["batched_requests"] / merged["batches"]
+        if merged["batches"]
+        else 0.0
+    )
+    merged["batch_size_histogram"] = dict(sorted(histogram.items()))
+    merged["latency_ms"] = latency
+    merged["qps"] = qps
+    return merged

@@ -215,6 +215,16 @@ VIOLATIONS = {
             return matrix.astype(np.float32)  ##HERE##
         """,
     ),
+    "blocking-in-async": (
+        "net/flow.py",
+        """
+        import time
+
+
+        async def pause():
+            time.sleep(0.1)  ##HERE##
+        """,
+    ),
 }
 
 # rule id -> extra LintConfig kwargs a fixture needs (e.g. the layer DAG
@@ -427,6 +437,16 @@ COMPLIANT = {
 
         def pack(matrix):
             return matrix.astype(ACCUM_DTYPE)
+        """,
+    ),
+    "blocking-in-async": (
+        "net/flow.py",
+        """
+        import asyncio
+
+
+        async def pause():
+            await asyncio.sleep(0.1)
         """,
     ),
 }

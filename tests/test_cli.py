@@ -279,3 +279,59 @@ class TestServeBench:
         )
         assert exit_code == 2
         assert "no queries" in capsys.readouterr().err
+
+    def test_json_records_run_metadata(self, tmp_path, capsys, stub_system):
+        """BENCH artifacts must be reproducible without side context."""
+        queries = tmp_path / "queries.txt"
+        queries.write_text("q one ?\nq two ?\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "serve-bench", "--model", "m", "--queries", str(queries),
+                "--threads", "2", "--format", "json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        run = payload["run"]
+        assert run["mode"] == "single"
+        assert run["queries"] == 2
+        assert run["threads"] == 2
+        # defaults are recorded as explicit nulls, not absent keys —
+        # consumers can rely on the schema being stable
+        assert run["precision"] is None
+        assert run["nprobe"] is None
+        assert run["shards"] == 0
+        assert run["shard_mode"] is None
+        assert "store_generation" in run
+
+
+class TestNetCommands:
+    def test_parse_listen(self):
+        from repro.cli import _parse_listen
+
+        assert _parse_listen("0.0.0.0:7371") == ("0.0.0.0", 7371)
+        with pytest.raises(Exception):
+            _parse_listen("no-port")
+        with pytest.raises(Exception):
+            _parse_listen(":8000")
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--synthetic"])
+        assert args.listen == ("127.0.0.1", 7371)
+        assert args.workers == 2
+        assert args.synthetic
+
+    def test_net_bench_parser_defaults(self):
+        args = build_parser().parse_args(["net-bench", "--synthetic"])
+        assert args.threads == 8
+        assert args.n == 32
+        assert args.mode == "mixed"  # paths every 4th query
+        assert args.format == "text"
+
+    def test_serve_requires_a_bundle_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--model DIR or --synthetic" in capsys.readouterr().err
+
+    def test_net_bench_requires_a_bundle_source(self, capsys):
+        assert main(["net-bench"]) == 2
+        assert "--model DIR or --synthetic" in capsys.readouterr().err
