@@ -1191,3 +1191,91 @@ class BlockingInAsync(Rule):
                     yield from self._flag_call(
                         ctx, node, time_modules, socket_modules, functions
                     )
+
+
+# ---------------------------------------------------------------------------
+# graph-in-inference
+# ---------------------------------------------------------------------------
+
+#: modules whose ``Tensor`` is the autograd engine
+_TENSOR_MODULES = frozenset({"repro.nn.tensor", "repro.nn"})
+
+
+@register
+class GraphInInference(Rule):
+    """The fused inference module must never touch the autograd engine.
+
+    ``repro/nn/infer.py`` exists to skip the graph: one ``Tensor``
+    construction inside it silently re-introduces per-op grad closures
+    and float64 temporaries on the hot encode path — and the parity
+    tests would still pass, because the graph computes the same numbers,
+    just slowly. So the boundary is enforced statically: any use of a
+    ``Tensor`` alias (construction, isinstance, annotation), any
+    ``module.Tensor`` attribute on an aliased autograd module, and any
+    ``.backward()`` call inside the inference module is a finding.
+    """
+
+    id = "graph-in-inference"
+    description = (
+        "autograd Tensor use inside the fused inference module; "
+        "repro/nn/infer.py must stay graph-free numpy"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (
+            "nn" in ctx.dir_parts
+            and Path(ctx.rel_path).name == "infer.py"
+        )
+
+    def _aliases(self, tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+        """(names bound to Tensor, names bound to an autograd module)."""
+        names: Set[str] = set()
+        modules: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _TENSOR_MODULES:
+                        modules.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in _TENSOR_MODULES:
+                    for alias in node.names:
+                        if alias.name == "Tensor":
+                            names.add(alias.asname or "Tensor")
+                        elif alias.name == "tensor":
+                            modules.add(alias.asname or "tensor")
+        return names, modules
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        names, modules = self._aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in names
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.id} is the autograd engine; the fused "
+                    "inference path must compute in plain numpy",
+                )
+            elif isinstance(node, ast.Attribute) and node.attr == "Tensor":
+                owner = node.value
+                if isinstance(owner, ast.Name) and owner.id in modules:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{owner.id}.Tensor is the autograd engine; the "
+                        "fused inference path must compute in plain numpy",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "backward"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    ".backward() builds gradients; inference code has "
+                    "no business backpropagating",
+                )

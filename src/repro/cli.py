@@ -369,6 +369,7 @@ def cmd_serve_bench(args) -> int:
             "store_generation": getattr(
                 system.retriever, "store_generation", None
             ),
+            "encoder": COUNTERS.encoder_throughput(),
         }
         print(json.dumps(snapshot, indent=2, sort_keys=True))
     else:
@@ -519,6 +520,14 @@ def cmd_net_bench(args) -> int:
     generations = sorted(
         {w.get("generation") for w in stats.get("workers", [])}
     )
+    # fleet-wide encoder token throughput: sum tokens and encode time
+    # across the worker processes' own counters
+    encoder_tokens = 0
+    encoder_seconds = 0.0
+    for worker in stats.get("workers", []):
+        encoder = worker.get("encoder") or {}
+        encoder_tokens += int(encoder.get("tokens", 0))
+        encoder_seconds += float(encoder.get("seconds", 0.0))
     payload = {
         "run": {
             "mode": args.mode,
@@ -529,6 +538,15 @@ def cmd_net_bench(args) -> int:
             "precision": args.precision,
             "nprobe": args.nprobe,
             "store_generations": generations,
+            "encoder": {
+                "tokens": encoder_tokens,
+                "seconds": encoder_seconds,
+                "tokens_per_sec": (
+                    encoder_tokens / encoder_seconds
+                    if encoder_seconds > 0
+                    else 0.0
+                ),
+            },
         },
         "frontdoor": stats.get("frontdoor"),
         "aggregate": stats.get("aggregate"),

@@ -14,7 +14,9 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.infer import InferenceSession
 from repro.nn.serialize import load_weights, save_weights
+from repro.perf import COUNTERS, time_block
 from repro.precision import TRAINING_DTYPE, PrecisionLike, cast_matrix, resolve
 from repro.storage.atomic import atomic_write_bytes
 from repro.nn.tensor import Tensor
@@ -82,6 +84,9 @@ class MiniBertEncoder:
         # per-token pooling weights; uniform until fit_idf() is called
         self._token_weights = np.ones(len(vocab))
         self._token_weights[vocab.pad_id] = 0.0
+        # lazily-built fused inference snapshot (repro.nn.infer); rebuilt
+        # whenever the weights are replaced or the precision changes
+        self._infer_session: Optional[InferenceSession] = None
 
     def fit_idf(self, texts: Sequence[str]) -> None:
         """Fit IDF pooling weights from a text collection.
@@ -145,22 +150,107 @@ class MiniBertEncoder:
         summed = (hidden * weights_t).sum(axis=1)
         return summed / Tensor(totals)
 
-    def encode_numpy(self, texts: Sequence[str], batch_size: int = 64) -> np.ndarray:
-        """Gradient-free encoding for inference; batches long inputs.
+    def _session(self) -> InferenceSession:
+        """The current fused-inference snapshot, rebaking when stale.
 
-        Output is cast to the encoder's precision dtype (float32 by
-        default; float64 in the opt-in exact parity mode). The cast
-        happens once, here, so every downstream matrix — stacked store,
-        shard plans, query vectors — inherits one policy dtype.
+        Weight updates (optimizer steps, ``load_weights``) replace
+        parameter arrays, which flips ``stale()``; a precision change
+        needs a re-bake too because the weights are cast at bake time.
+        Benign under concurrency: a lost race just builds one extra
+        snapshot of identical weights.
+        """
+        session = self._infer_session
+        if (
+            session is None
+            or session.dtype != self.precision.dtype
+            or session.stale()
+        ):
+            session = InferenceSession(self.model, dtype=self.precision.dtype)
+            self._infer_session = session
+        return session
+
+    def encode_numpy(self, texts: Sequence[str], batch_size: int = 64) -> np.ndarray:
+        """Gradient-free encoding on the fused inference path.
+
+        Runs :class:`repro.nn.infer.InferenceSession` — no autograd
+        graph, compute directly in the precision dtype (float32 by
+        default; float64 in the opt-in exact parity mode), so every
+        downstream matrix inherits one policy dtype without a cast.
+
+        Batches are length-bucketed: texts are sorted by token count
+        (stable, so ties keep their input order), grouped into
+        ``batch_size`` buckets so each rectangle is only as wide as its
+        longest member, and results are scattered back into the input
+        order. Bucketing cannot change any embedding: padded positions
+        carry exactly-zero attention weight and exactly-zero pooling
+        weight, so a sequence's vector is independent of its batch mates.
+        """
+        dtype = self.precision.dtype
+        if not texts:
+            return np.zeros((0, self.config.dim), dtype=dtype)
+        session = self._session()
+        encoded = [self.text_to_ids(t) for t in texts]
+        order = sorted(range(len(encoded)), key=lambda i: len(encoded[i]))
+        out = np.empty((len(encoded), self.config.dim), dtype=dtype)
+        with time_block() as elapsed:
+            for start in range(0, len(order), batch_size):
+                bucket = order[start : start + batch_size]
+                ids, mask = self._pad_bucket([encoded[i] for i in bucket], dtype)
+                hidden = session.forward(ids, mask=mask)
+                out[bucket] = self._pool(hidden, ids, mask)
+        COUNTERS.record_encode_tokens(
+            sum(len(seq) for seq in encoded), elapsed()
+        )
+        return out
+
+    def _pad_bucket(
+        self, encoded: Sequence[List[int]], dtype
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pad one bucket of token-id lists to a rectangle + mask."""
+        width = max(len(seq) for seq in encoded)
+        pad = self.vocab.pad_id
+        ids = np.full((len(encoded), width), pad, dtype=np.int64)
+        mask = np.zeros((len(encoded), width), dtype=dtype)
+        for row, seq in enumerate(encoded):
+            ids[row, : len(seq)] = seq
+            mask[row, : len(seq)] = 1.0
+        return ids, mask
+
+    def _pool(
+        self, hidden: np.ndarray, ids: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Sentence vectors from fused hidden states, per ``config.pooling``."""
+        if self.config.pooling == "cls":
+            return hidden[:, 0, :]
+        weights = self._token_weights[ids].astype(hidden.dtype) * mask
+        totals = weights.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        pooled = np.einsum("bsd,bs->bd", hidden, weights)
+        pooled /= totals
+        return pooled
+
+    def encode_numpy_graph(
+        self, texts: Sequence[str], batch_size: int = 64
+    ) -> np.ndarray:
+        """The autograd-graph reference path for :meth:`encode_numpy`.
+
+        Kept for parity suites and the encoder throughput benchmark:
+        computes in ``TRAINING_DTYPE`` through :meth:`encode` and casts
+        to the precision dtype at the boundary — exactly what
+        ``encode_numpy`` did before the fused engine.
         """
         was_training = self.model.training
         self.model.eval()
         dtype = self.precision.dtype
         try:
             chunks = []
-            for start in range(0, len(texts), batch_size):
-                chunk = texts[start : start + batch_size]
-                chunks.append(cast_matrix(self.encode(chunk).numpy(), dtype))
+            with time_block() as elapsed:
+                for start in range(0, len(texts), batch_size):
+                    chunk = texts[start : start + batch_size]
+                    chunks.append(cast_matrix(self.encode(chunk).numpy(), dtype))
+            COUNTERS.record_encode_tokens(
+                sum(len(self.text_to_ids(t)) for t in texts), elapsed()
+            )
             return np.concatenate(chunks, axis=0) if chunks else np.zeros(
                 (0, self.config.dim), dtype=dtype
             )

@@ -146,6 +146,7 @@ class IngestStats:
     rows_total: int = 0
     rows_encoded: int = 0
     rows_reused: int = 0
+    tokens_encoded: int = 0
     link_seconds: float = 0.0
     extract_seconds: float = 0.0
     encode_seconds: float = 0.0
@@ -168,10 +169,18 @@ class IngestStats:
                 f"  link:       {self.link_seconds * 1e3:.1f} ms",
                 f"  extract:    {self.extract_seconds * 1e3:.1f} ms"
                 f" ({self.workers} worker(s))",
-                f"  encode:     {self.encode_seconds * 1e3:.1f} ms",
+                f"  encode:     {self.encode_seconds * 1e3:.1f} ms"
+                f" ({self.tokens_encoded} tokens,"
+                f" {self.tokens_per_sec():.0f} tokens/s)",
                 f"  save:       {self.save_seconds * 1e3:.1f} ms",
             ]
         )
+
+    def tokens_per_sec(self) -> float:
+        """Encoder token throughput of this run (the ingest ceiling)."""
+        if self.encode_seconds <= 0:
+            return 0.0
+        return self.tokens_encoded / self.encode_seconds
 
 
 @dataclass
@@ -345,11 +354,15 @@ class IngestPipeline:
             except EmbeddingStoreError:
                 # no prior generation (or an unreadable one): cold encode
                 retriever.detach_embeddings()
+        tokens_before = COUNTERS.encoder_throughput()["tokens"]
         with time_block() as elapsed:
             stats.rows_encoded = retriever.refresh_embeddings(
                 batch_size=self.batch_size
             )
         stats.encode_seconds = elapsed()
+        stats.tokens_encoded = (
+            COUNTERS.encoder_throughput()["tokens"] - tokens_before
+        )
         stats.rows_total = result.store.total_triples()
         stats.rows_reused = stats.rows_total - stats.rows_encoded
         embeddings = retriever.export_embeddings(

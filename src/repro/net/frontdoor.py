@@ -433,6 +433,7 @@ class FrontDoor:
                 "generation": answer.get("generation"),
                 "pending": answer.get("pending"),
                 "stats": answer.get("stats"),
+                "encoder": answer.get("encoder"),
             })
             snapshots.append(answer.get("stats") or {})
         return {

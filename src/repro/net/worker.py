@@ -40,6 +40,7 @@ from repro.net.protocol import (
     results_to_wire,
     send_frame,
 )
+from repro.perf import COUNTERS
 from repro.retriever.store import TripleStore
 from repro.serve import RetrievalService, ServiceConfig
 
@@ -245,6 +246,9 @@ class WorkerRuntime:
                     "generation": generation,
                     "pending": service.pending(),
                     "stats": service.stats_snapshot(),
+                    # this process's encoder token throughput (warm paths
+                    # only encode the query; cold paths the whole corpus)
+                    "encoder": COUNTERS.encoder_throughput(),
                 }
             return stats
         if op == "reload":

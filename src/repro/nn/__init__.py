@@ -7,6 +7,7 @@ HuggingFace nor a GPU, so the PLM is rebuilt from first principles:
 * :mod:`repro.nn.layers` — Linear / Embedding / LayerNorm / Dropout modules,
 * :mod:`repro.nn.attention` — multi-head self-attention,
 * :mod:`repro.nn.transformer` — the BERT-style encoder stack,
+* :mod:`repro.nn.infer` — graph-free fused inference over baked weights,
 * :mod:`repro.nn.optim` — SGD and Adam,
 * :mod:`repro.nn.losses` — BCE, cross-entropy, cosine similarity,
 * :mod:`repro.nn.serialize` — weight (de)serialization.
@@ -16,6 +17,12 @@ from repro.nn.tensor import Tensor
 from repro.nn.layers import Module, Linear, Embedding, LayerNorm, Dropout, Sequential
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.transformer import TransformerEncoderLayer, TransformerEncoder
+from repro.nn.infer import (
+    InferenceSession,
+    fused_gelu,
+    fused_layer_norm,
+    fused_softmax,
+)
 from repro.nn.optim import SGD, Adam
 from repro.nn.losses import (
     binary_cross_entropy_with_logits,
@@ -35,6 +42,10 @@ __all__ = [
     "MultiHeadSelfAttention",
     "TransformerEncoderLayer",
     "TransformerEncoder",
+    "InferenceSession",
+    "fused_gelu",
+    "fused_layer_norm",
+    "fused_softmax",
     "SGD",
     "Adam",
     "binary_cross_entropy_with_logits",

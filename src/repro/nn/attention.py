@@ -10,12 +10,22 @@ from typing import Optional
 
 import numpy as np
 
-from repro.precision import TRAINING_DTYPE
+from repro.precision import TRAINING_DTYPE, mask_bias_value
 
 from repro.nn.layers import Dropout, Linear, Module
 from repro.nn.tensor import Tensor
 
-_NEG_INF = -1e9
+
+def padding_bias(mask: np.ndarray, dtype=TRAINING_DTYPE) -> np.ndarray:
+    """Additive attention bias (B, 1, 1, S) from a 1/0 mask (B, S).
+
+    Attended positions get 0, padded positions a dtype-scaled large
+    negative (see :func:`repro.precision.mask_bias_value`) that exp
+    underflows to exactly zero after the softmax shift. Computed once
+    per batch — the stack reuses one bias across every layer and head.
+    """
+    inverted = 1.0 - np.asarray(mask, dtype=dtype)
+    return (inverted * mask_bias_value(dtype))[:, None, None, :]
 
 
 class MultiHeadSelfAttention(Module):
@@ -45,16 +55,25 @@ class MultiHeadSelfAttention(Module):
         # (B, S, D) -> (B, H, S, Dh)
         return x.reshape(batch, seq, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
 
-    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """``bias`` is the precomputed (B, 1, 1, S) additive padding bias;
+        when omitted it is derived from ``mask`` (B, S, 1 = attend) here,
+        so standalone use keeps working while the encoder stack passes
+        one shared bias down to every layer."""
         batch, seq, _ = x.shape
         q = self._split_heads(self.query(x), batch, seq)
         k = self._split_heads(self.key(x), batch, seq)
         v = self._split_heads(self.value(x), batch, seq)
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
-        if mask is not None:
-            # mask: (B, S) with 1 = attend, 0 = padding
-            bias = (1.0 - np.asarray(mask, dtype=TRAINING_DTYPE)) * _NEG_INF
-            scores = scores + Tensor(bias[:, None, None, :])
+        if bias is None and mask is not None:
+            bias = padding_bias(mask)
+        if bias is not None:
+            scores = scores + Tensor(bias)
         attn = scores.softmax(axis=-1)
         attn = self.dropout(attn)
         context = attn @ v  # (B, H, S, Dh)

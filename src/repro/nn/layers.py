@@ -43,6 +43,17 @@ class Module:
         for child_name, child in self._modules.items():
             yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
 
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """This module and every descendant, depth-first, with dotted names.
+
+        The inference baker walks this to prove it recognizes every
+        module in a stack before trusting its fused plan of it.
+        """
+        yield (prefix, self)
+        for child_name, child in self._modules.items():
+            child_prefix = f"{prefix}.{child_name}" if prefix else child_name
+            yield from child.named_modules(prefix=child_prefix)
+
     def zero_grad(self) -> None:
         for parameter in self.parameters():
             parameter.zero_grad()

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.precision import TRAINING_DTYPE
 
-from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.attention import MultiHeadSelfAttention, padding_bias
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module
 from repro.nn.tensor import Tensor
 
@@ -46,8 +46,13 @@ class TransformerEncoderLayer(Module):
             self.attention.output.weight.data *= residual_scale
             self.ffn_out.weight.data *= residual_scale
 
-    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
-        attended = self.attention(self.norm1(x), mask=mask)
+    def forward(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        attended = self.attention(self.norm1(x), mask=mask, bias=bias)
         x = x + self.dropout(attended)
         transformed = self.ffn_out(self.ffn_in(self.norm2(x)).gelu())
         return x + self.dropout(transformed)
@@ -122,11 +127,15 @@ class TransformerEncoder(Module):
             )
         if mask is None:
             mask = (ids != self.pad_id).astype(TRAINING_DTYPE)
+        # one additive bias per batch, shared by every layer (the
+        # per-layer (1 - mask) * -inf rebuild was pure waste: the bias
+        # is a function of the mask alone)
+        bias = padding_bias(mask)
         positions = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
         x = self.token_embedding(ids) + self.position_embedding(positions)
         x = self.embed_dropout(x)
         for layer in self.layers:
-            x = layer(x, mask=mask)
+            x = layer(x, mask=mask, bias=bias)
         return self.final_norm(x)
 
     def encode_cls(self, ids: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:

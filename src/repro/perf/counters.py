@@ -37,6 +37,8 @@ class PerfCounters:
 
     encode_calls: int = 0  # encoder forward batches
     texts_encoded: int = 0  # total sentences through the encoder
+    tokens_encoded: int = 0  # tokens through the encoder forward
+    encode_seconds: float = 0.0  # wall-clock inside encode_numpy
     matmul_calls: int = 0  # batched scoring products
     matmul_seconds: float = 0.0  # wall-clock inside those products
     queries: int = 0  # query vectors scored
@@ -57,6 +59,21 @@ class PerfCounters:
         with self._lock:
             self.encode_calls += 1
             self.texts_encoded += n_texts
+
+    def record_encode_tokens(self, n_tokens: int, seconds: float) -> None:
+        with self._lock:
+            self.tokens_encoded += n_tokens
+            self.encode_seconds += seconds
+
+    def encoder_throughput(self) -> Dict[str, float]:
+        """Token throughput of the encoder so far (bench/run metadata)."""
+        with self._lock:
+            tokens, seconds = self.tokens_encoded, self.encode_seconds
+        return {
+            "tokens": tokens,
+            "seconds": seconds,
+            "tokens_per_sec": tokens / seconds if seconds > 0 else 0.0,
+        }
 
     def record_extract(
         self, n_docs: int, n_reused: int, n_triples: int, seconds: float
@@ -102,11 +119,19 @@ class PerfCounters:
             if snap["queries"]
             else 0.0
         )
+        tokens_per_sec = (
+            snap["tokens_encoded"] / snap["encode_seconds"]
+            if snap["encode_seconds"] > 0
+            else 0.0
+        )
         return "\n".join(
             [
                 "perf counters:",
                 f"  encode calls:    {snap['encode_calls']}"
                 f" ({snap['texts_encoded']} texts)",
+                f"  encoder tokens:  {snap['tokens_encoded']}"
+                f" ({snap['encode_seconds'] * 1e3:.1f} ms,"
+                f" {tokens_per_sec:.0f} tokens/s)",
                 f"  scoring matmuls: {snap['matmul_calls']}"
                 f" ({snap['matmul_seconds'] * 1e3:.1f} ms total,"
                 f" {per_query:.3f} ms/query)",

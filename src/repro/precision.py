@@ -88,6 +88,20 @@ class PrecisionError(ValueError):
     """An invalid or inconsistent precision configuration."""
 
 
+def mask_bias_value(dtype) -> float:
+    """Additive pre-softmax bias that zeroes padded attention positions.
+
+    Scaled to the compute dtype via ``np.finfo`` (half the largest finite
+    magnitude) instead of a hardcoded ``-1e9``: large enough that
+    ``exp(bias - row_max)`` underflows to exactly ``0.0`` in the given
+    dtype, small enough that adding finite scores never overflows to
+    ``-inf``. Because masked weights underflow to exact zeros either
+    way, float64 outputs are bitwise independent of which constant is
+    used — the graph and fused paths may each take their own dtype.
+    """
+    return -float(np.finfo(np.dtype(dtype)).max) / 2.0
+
+
 @dataclass(frozen=True)
 class Precision:
     """One end-to-end precision policy.

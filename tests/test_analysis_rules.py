@@ -225,6 +225,16 @@ VIOLATIONS = {
             time.sleep(0.1)  ##HERE##
         """,
     ),
+    "graph-in-inference": (
+        "nn/infer.py",
+        """
+        from repro.nn.tensor import Tensor
+
+
+        def forward(ids):
+            return Tensor(ids)  ##HERE##
+        """,
+    ),
 }
 
 # rule id -> extra LintConfig kwargs a fixture needs (e.g. the layer DAG
@@ -447,6 +457,16 @@ COMPLIANT = {
 
         async def pause():
             await asyncio.sleep(0.1)
+        """,
+    ),
+    "graph-in-inference": (
+        "nn/infer.py",
+        """
+        import numpy as np
+
+
+        def forward(ids, table):
+            return table[np.asarray(ids)]
         """,
     ),
 }
